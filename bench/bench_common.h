@@ -1,0 +1,53 @@
+#ifndef SARA_BENCH_COMMON_H
+#define SARA_BENCH_COMMON_H
+
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction binaries. Each
+ * binary regenerates one piece of the paper's evaluation (§IV) and
+ * prints the same rows/series the paper reports.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "runtime/run.h"
+#include "support/table.h"
+#include "workloads/workload.h"
+
+namespace sara::bench {
+
+inline double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double x : xs)
+        logSum += std::log(x);
+    return std::exp(logSum / xs.size());
+}
+
+/** Nominal off-chip traffic (bytes) of a workload: inputs + outputs
+ *  once each — what an ideally-cached GPU implementation moves. */
+inline double
+nominalBytes(const workloads::Workload &w)
+{
+    double bytes = 0.0;
+    for (const auto &[tid, data] : w.dramInputs)
+        bytes += 4.0 * data.size();
+    bytes += 4.0 * w.elements;
+    return bytes;
+}
+
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n==== %s ====\n", title.c_str());
+}
+
+} // namespace sara::bench
+
+#endif // SARA_BENCH_COMMON_H

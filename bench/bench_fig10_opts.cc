@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fig. 10 reproduction: effectiveness of individual compiler
+ * optimizations. For each app, one optimization at a time is disabled
+ * and the runtime / resource deltas vs. the all-optimizations build
+ * are reported (the paper plots normalized runtime and resource).
+ */
+
+#include "bench/bench_common.h"
+
+using namespace sara;
+using namespace sara::bench;
+
+namespace {
+
+struct Knob
+{
+    const char *name;
+    void (*disable)(compiler::CompilerOptions &);
+};
+
+const Knob kKnobs[] = {
+    {"msr", [](compiler::CompilerOptions &o) { o.enableMsr = false; }},
+    {"rtelm",
+     [](compiler::CompilerOptions &o) { o.enableRtelm = false; }},
+    {"retime",
+     [](compiler::CompilerOptions &o) { o.enableRetime = false; }},
+    {"retime-m",
+     [](compiler::CompilerOptions &o) { o.enableRetimeM = false; }},
+    {"xbar-elm",
+     [](compiler::CompilerOptions &o) { o.enableXbarElm = false; }},
+    {"multibuffer",
+     [](compiler::CompilerOptions &o) { o.enableMultibuffer = false; }},
+    {"ctrl-reduction",
+     [](compiler::CompilerOptions &o) {
+         o.enableControlReduction = false;
+     }},
+    {"duplication",
+     [](compiler::CompilerOptions &o) { o.enableDuplication = false; }},
+};
+
+runtime::RunOutcome
+run(const workloads::Workload &w, const compiler::CompilerOptions &opt)
+{
+    runtime::RunConfig rc;
+    rc.compiler = opt;
+    return runtime::runWorkload(w, rc);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Fig. 10: per-optimization effectiveness "
+           "(values normalized to the all-optimizations build; "
+           "runtime > 1 means disabling the optimization slows the "
+           "app down, resource > 1 means it saves resources)");
+
+    for (const std::string name :
+         {"mlp", "lstm", "bs", "gda", "ms", "sort", "pr", "rf"}) {
+        workloads::WorkloadConfig cfg;
+        cfg.par = 64;
+        if (name == "bs" || name == "ms")
+            cfg.scale = 4;
+        auto w = workloads::buildByName(name, cfg);
+
+        compiler::CompilerOptions base;
+        base.spec = arch::PlasticineSpec::paper();
+        base.pnrIterations = 2000;
+        auto ref = run(w, base);
+
+        Table t({"disabled opt", "runtime x", "resource x", "tokens",
+                 "cycles"});
+        t.addRow({"(none)", "1.00", "1.00",
+                  std::to_string(ref.compiled.lowering.stats.tokens),
+                  std::to_string(ref.sim.cycles)});
+        for (const auto &knob : kKnobs) {
+            auto opt = base;
+            knob.disable(opt);
+            auto r = run(w, opt);
+            double rt = static_cast<double>(r.sim.cycles) /
+                        static_cast<double>(ref.sim.cycles);
+            double res =
+                static_cast<double>(r.compiled.resources.total()) /
+                std::max(1, ref.compiled.resources.total());
+            t.addRow({knob.name, Table::fmt(rt), Table::fmt(res),
+                      std::to_string(r.compiled.lowering.stats.tokens),
+                      std::to_string(r.sim.cycles)});
+        }
+        std::printf("-- %s --\n%s", name.c_str(), t.str().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fig. 11 reproduction: traversal-based vs solver-based partitioning
+ * and merging.
+ *  (a) physical units after partition+merge, normalized to the best
+ *      algorithm per app (the paper reports traversal up to 1.7x
+ *      worse than the solver's near-optimal packing);
+ *  (b/c) compile time per algorithm (traversal runs in well under a
+ *      second at our scaled-down sizes; the solver costs orders of
+ *      magnitude more, mirroring the paper's minutes-vs-hours gap).
+ */
+
+#include "bench/bench_common.h"
+
+#include "compiler/partition.h"
+
+using namespace sara;
+using namespace sara::bench;
+
+int
+main()
+{
+    banner("Fig. 11: traversal vs solver partitioning/merging");
+    using compiler::PartitionAlgo;
+    const PartitionAlgo algos[] = {
+        PartitionAlgo::BfsFwd, PartitionAlgo::BfsBwd,
+        PartitionAlgo::DfsFwd, PartitionAlgo::DfsBwd,
+        PartitionAlgo::Solver};
+
+    for (const std::string name : {"mlp", "lstm", "bs", "gda", "kmeans",
+                                   "ms"}) {
+        workloads::WorkloadConfig cfg;
+        cfg.par = 64;
+        auto w = workloads::buildByName(name, cfg);
+
+        struct Row
+        {
+            PartitionAlgo algo;
+            int pcus = 0;
+            double partMs = 0.0;
+        };
+        std::vector<Row> rows;
+        int best = INT32_MAX;
+        for (auto algo : algos) {
+            compiler::CompilerOptions opt;
+            opt.spec = arch::PlasticineSpec::paper();
+            opt.partitioner = algo;
+            opt.pnrIterations = 500;
+            opt.solverIterations = 60000;
+            auto r = compiler::compile(w.program, opt);
+            Row row;
+            row.algo = algo;
+            row.pcus = r.resources.pcus;
+            row.partMs = r.timing.partitionMs + r.timing.mergeMs;
+            best = std::min(best, row.pcus);
+            rows.push_back(row);
+        }
+        Table t({"algorithm", "PCUs", "normalized", "compile ms"});
+        for (const auto &row : rows) {
+            t.addRow({compiler::partitionAlgoName(row.algo),
+                      std::to_string(row.pcus),
+                      Table::fmtX(static_cast<double>(row.pcus) /
+                                  std::max(1, best)),
+                      Table::fmt(row.partMs, 1)});
+        }
+        std::printf("-- %s --\n%s", name.c_str(), t.str().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Fig. 9 reproduction.
+ *
+ * (a) Performance and resource scaling vs. par factor for a
+ *     resource-bound kernel (mlp) and a bandwidth-bound kernel (rf):
+ *     performance should scale near-linearly until on-chip resources
+ *     (mlp) or HBM bandwidth (rf) saturate.
+ * (b) Performance-resource trade-off space for mlp and lstm across
+ *     par factors and optimization sets; the Pareto-frontier points
+ *     are marked.
+ */
+
+#include "bench/bench_common.h"
+
+using namespace sara;
+using namespace sara::bench;
+
+namespace {
+
+runtime::RunOutcome
+run(const std::string &name, int par, bool allOpts = true)
+{
+    workloads::WorkloadConfig cfg;
+    cfg.par = par;
+    auto w = workloads::buildByName(name, cfg);
+    runtime::RunConfig rc;
+    rc.compiler.spec = arch::PlasticineSpec::paper();
+    rc.compiler.pnrIterations = 2000;
+    if (!allOpts) {
+        rc.compiler.enableMsr = false;
+        rc.compiler.enableRtelm = false;
+        rc.compiler.enableRetime = false;
+        rc.compiler.enableRetimeM = false;
+        rc.compiler.enableXbarElm = false;
+        rc.compiler.enableMultibuffer = false;
+        rc.compiler.enableControlReduction = false;
+    }
+    return runtime::runWorkload(w, rc);
+}
+
+void
+fig9a()
+{
+    banner("Fig. 9a: performance & resource scaling vs par factor");
+    const std::vector<int> pars = {1, 2, 4, 8, 16, 32, 64, 128, 192, 256};
+    for (const std::string name : {"mlp", "rf"}) {
+        Table t({"par", "cycles", "speedup", "PCUs", "PMUs", "AGs",
+                 "DRAM GB/s", "fits"});
+        double base = 0.0;
+        for (int par : pars) {
+            auto r = run(name, par);
+            if (base == 0.0)
+                base = static_cast<double>(r.sim.cycles);
+            t.addRow({std::to_string(par), std::to_string(r.sim.cycles),
+                      Table::fmtX(base / r.sim.cycles),
+                      std::to_string(r.compiled.resources.pcus),
+                      std::to_string(r.compiled.resources.pmus),
+                      std::to_string(r.compiled.resources.ags),
+                      Table::fmt(r.dramGBs(), 1),
+                      r.compiled.resources.fits ? "y" : "n"});
+        }
+        std::printf("-- %s --\n%s", name.c_str(), t.str().c_str());
+    }
+}
+
+void
+fig9b()
+{
+    banner("Fig. 9b: performance-resource trade-off (Pareto frontier)");
+    const std::vector<int> pars = {1, 4, 16, 64, 128, 256};
+    for (const std::string name : {"mlp", "lstm"}) {
+        struct Point
+        {
+            int par;
+            bool opts;
+            uint64_t cycles;
+            int resources;
+        };
+        std::vector<Point> pts;
+        for (int par : pars)
+            for (bool opts : {true, false}) {
+                auto r = run(name, par, opts);
+                pts.push_back({par, opts, r.sim.cycles,
+                               r.compiled.resources.total()});
+            }
+        Table t({"par", "opts", "cycles", "total PUs", "pareto"});
+        for (const auto &pt : pts) {
+            bool dominated = false;
+            for (const auto &other : pts)
+                if (other.cycles <= pt.cycles &&
+                    other.resources <= pt.resources &&
+                    (other.cycles < pt.cycles ||
+                     other.resources < pt.resources))
+                    dominated = true;
+            t.addRow({std::to_string(pt.par), pt.opts ? "all" : "none",
+                      std::to_string(pt.cycles),
+                      std::to_string(pt.resources),
+                      dominated ? "" : "*"});
+        }
+        std::printf("-- %s --\n%s", name.c_str(), t.str().c_str());
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    fig9a();
+    fig9b();
+    return 0;
+}

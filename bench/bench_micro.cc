@@ -1,0 +1,128 @@
+/**
+ * @file
+ * google-benchmark micro-suite for the toolchain itself: compile-phase
+ * throughput, graph-algorithm kernels, solver iterations, and
+ * simulator event throughput. Guards against performance regressions
+ * in the compiler/simulator (the "slow cycle-accurate simulator" is
+ * the methodology bottleneck, §IV-a).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/driver.h"
+#include "compiler/partition.h"
+#include "runtime/run.h"
+#include "solver/mip.h"
+#include "support/digraph.h"
+#include "support/rng.h"
+#include "workloads/workload.h"
+
+using namespace sara;
+
+namespace {
+
+workloads::Workload
+mlp(int par)
+{
+    workloads::WorkloadConfig cfg;
+    cfg.par = par;
+    return workloads::buildMlp(cfg);
+}
+
+void
+BM_CompileMlp(benchmark::State &state)
+{
+    auto w = mlp(static_cast<int>(state.range(0)));
+    compiler::CompilerOptions opt;
+    opt.spec = arch::PlasticineSpec::paper();
+    opt.pnrIterations = 500;
+    for (auto _ : state) {
+        auto r = compiler::compile(w.program, opt);
+        benchmark::DoNotOptimize(r.resources.pcus);
+    }
+}
+BENCHMARK(BM_CompileMlp)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulateMlp(benchmark::State &state)
+{
+    auto w = mlp(static_cast<int>(state.range(0)));
+    runtime::RunConfig rc;
+    rc.compiler.spec = arch::PlasticineSpec::paper();
+    rc.compiler.pnrIterations = 500;
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        auto r = runtime::runWorkload(w, rc);
+        cycles = r.sim.cycles;
+        benchmark::DoNotOptimize(cycles);
+    }
+    state.counters["sim_cycles"] = static_cast<double>(cycles);
+}
+BENCHMARK(BM_SimulateMlp)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void
+BM_TransitiveReduction(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        Rng rng(7);
+        Digraph g(n);
+        for (size_t i = 0; i < n; ++i)
+            for (size_t j = i + 1; j < n; ++j)
+                if (rng.chance(0.2))
+                    g.addEdge(i, j);
+        state.ResumeTiming();
+        g.transitiveReduction();
+        benchmark::DoNotOptimize(g.numEdges());
+    }
+}
+BENCHMARK(BM_TransitiveReduction)->Arg(32)->Arg(128);
+
+void
+BM_PartitionTraversal(benchmark::State &state)
+{
+    Rng rng(11);
+    compiler::PartitionProblem prob;
+    prob.n = static_cast<int>(state.range(0));
+    prob.opCost.assign(prob.n, 1);
+    for (int i = 1; i < prob.n; ++i)
+        prob.edges.push_back(
+            {static_cast<int>(rng.index(i)), i});
+    for (auto _ : state) {
+        auto sol = compiler::partitionTraversal(
+            prob, compiler::PartitionAlgo::DfsFwd);
+        benchmark::DoNotOptimize(sol.numPartitions);
+    }
+}
+BENCHMARK(BM_PartitionTraversal)->Arg(64)->Arg(512);
+
+void
+BM_SolverAnneal(benchmark::State &state)
+{
+    Rng rng(13);
+    compiler::PartitionProblem prob;
+    prob.n = 48;
+    prob.opCost.assign(prob.n, 1);
+    for (int i = 1; i < prob.n; ++i)
+        prob.edges.push_back({static_cast<int>(rng.index(i)), i});
+    auto warm =
+        compiler::partitionTraversal(prob, compiler::PartitionAlgo::DfsFwd);
+    solver::AnnealOptions ao;
+    ao.iterations = static_cast<uint64_t>(state.range(0));
+    for (auto _ : state) {
+        auto res = solver::anneal(
+            prob.n, warm.assign,
+            [&](const std::vector<int> &a, bool *f) {
+                return compiler::partitionCost(prob, a, f);
+            },
+            ao);
+        benchmark::DoNotOptimize(res.cost);
+    }
+}
+BENCHMARK(BM_SolverAnneal)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The paper's Fig. 4 scenario: an outer branch whose clauses contain
+ * whole loops. Even iterations of the outer loop write a scratchpad;
+ * odd iterations read it back out. Under CMMC the disabled clause
+ * skips and forwards its tokens immediately, so the if and else
+ * clauses overlap and the runtime approaches N*L/2 instead of N*L.
+ *
+ *   ./build/examples/branch_pipeline
+ */
+
+#include <cstdio>
+
+#include "compiler/driver.h"
+#include "ir/builder.h"
+#include "ir/interp.h"
+#include "sim/simulator.h"
+
+using namespace sara;
+using namespace sara::ir;
+
+namespace {
+
+/** Build Fig. 4: branched when `branched`, both-bodies otherwise. */
+Program
+build(bool branched, int64_t n, int64_t m)
+{
+    Program p;
+    Builder b(p);
+    auto mem = p.addTensor("mem", MemSpace::OnChip, m);
+    auto out = p.addTensor("out", MemSpace::Dram, n * m);
+
+    auto A = b.beginLoop("A", 0, n);
+    b.beginBlock("cond");
+    auto even = b.binary(OpKind::CmpEq, b.mod(b.iter(A), b.cst(2.0)),
+                         b.cst(0.0));
+    b.endBlock();
+
+    auto writeBody = [&]() {
+        auto D = b.beginLoop("D", 0, m, 1, 16);
+        b.beginBlock("wr");
+        b.write(mem, b.iter(D), b.add(b.iter(A), b.iter(D)));
+        b.endBlock();
+        b.endLoop();
+    };
+    auto readBody = [&]() {
+        auto F = b.beginLoop("F", 0, m, 1, 16);
+        b.beginBlock("rd");
+        auto addr = b.add(b.mul(b.iter(A), b.cst(double(m))), b.iter(F));
+        b.write(out, addr, b.read(mem, b.iter(F)));
+        b.endBlock();
+        b.endLoop();
+    };
+
+    if (branched) {
+        b.beginBranch("C", even);
+        writeBody();
+        b.elseClause();
+        readBody();
+        b.endBranch();
+    } else {
+        writeBody();
+        readBody();
+    }
+    b.endLoop();
+    return p;
+}
+
+uint64_t
+simulate(const Program &p)
+{
+    compiler::CompilerOptions opt;
+    opt.spec = arch::PlasticineSpec::paper();
+    auto compiled = compiler::compile(p, opt);
+    sim::Simulator simulator(compiled.program, compiled.lowering.graph,
+                             dram::DramSpec::hbm2());
+    auto r = simulator.run();
+    return r.cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    const int64_t n = 32, m = 256;
+    uint64_t branched = simulate(build(true, n, m));
+    uint64_t both = simulate(build(false, n, m));
+
+    std::printf("Fig. 4 branch pipelining (N=%lld outer iterations, "
+                "L=%lld-element loops):\n",
+                static_cast<long long>(n), static_cast<long long>(m));
+    std::printf("  branched (each clause on half the iterations): "
+                "%llu cycles\n",
+                static_cast<unsigned long long>(branched));
+    std::printf("  both bodies every iteration:                   "
+                "%llu cycles\n",
+                static_cast<unsigned long long>(both));
+    std::printf("  ratio %.2f (skipped clauses forward their CMMC "
+                "tokens immediately, so if/else iterations overlap)\n",
+                static_cast<double>(both) / branched);
+    return branched < both ? 0 : 1;
+}

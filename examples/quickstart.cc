@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Quickstart: build a tiny tiled pipeline with the imperative Builder
+ * API, compile it with SARA, run it on the cycle-level Plasticine
+ * simulator, and validate the result against the sequential
+ * interpreter.
+ *
+ *   c[i] = 2 * a[i] + b[i]  over 8 tiles of 64 elements.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "compiler/driver.h"
+#include "ir/builder.h"
+#include "ir/interp.h"
+#include "sim/simulator.h"
+
+using namespace sara;
+using namespace sara::ir;
+
+int
+main()
+{
+    // ------------------------------------------------------------------
+    // 1. Write the program against the single-threaded imperative
+    //    abstraction (the Spatial-like nested-loop IR).
+    // ------------------------------------------------------------------
+    const int64_t tiles = 8, tile = 64, n = tiles * tile;
+    Program p;
+    Builder b(p);
+
+    auto a = p.addTensor("a", MemSpace::Dram, n);
+    auto bv = p.addTensor("b", MemSpace::Dram, n);
+    auto c = p.addTensor("c", MemSpace::Dram, n);
+    auto bufA = p.addTensor("bufA", MemSpace::OnChip, tile);
+    auto bufB = p.addTensor("bufB", MemSpace::OnChip, tile);
+    auto bufC = p.addTensor("bufC", MemSpace::OnChip, tile);
+
+    auto t = b.beginLoop("t", 0, tiles);
+    {
+        // Load stage: DRAM -> scratchpads (vectorized by 16 lanes).
+        auto li = b.beginLoop("ld", 0, tile, 1, /*par=*/16);
+        b.beginBlock("load");
+        auto addr = b.add(b.mul(b.iter(t), b.cst(double(tile))),
+                          b.iter(li));
+        b.write(bufA, b.iter(li), b.read(a, addr));
+        b.write(bufB, b.iter(li), b.read(bv, addr));
+        b.endBlock();
+        b.endLoop();
+
+        // Compute stage.
+        auto ci = b.beginLoop("fma", 0, tile, 1, /*par=*/16);
+        b.beginBlock("mac");
+        auto va = b.read(bufA, b.iter(ci));
+        auto vb = b.read(bufB, b.iter(ci));
+        b.write(bufC, b.iter(ci), b.mac(va, b.cst(2.0), vb));
+        b.endBlock();
+        b.endLoop();
+
+        // Store stage. The three stages of each tile overlap with
+        // neighbouring tiles through CMMC multibuffering.
+        auto si = b.beginLoop("st", 0, tile, 1, /*par=*/16);
+        b.beginBlock("store");
+        auto oaddr = b.add(b.mul(b.iter(t), b.cst(double(tile))),
+                           b.iter(si));
+        b.write(c, oaddr, b.read(bufC, b.iter(si)));
+        b.endBlock();
+        b.endLoop();
+    }
+    b.endLoop();
+
+    // ------------------------------------------------------------------
+    // 2. Compile: unroll -> dataflow lowering + CMMC -> partition ->
+    //    merge -> place & route.
+    // ------------------------------------------------------------------
+    compiler::CompilerOptions opt;
+    opt.spec = arch::PlasticineSpec::paper();
+    auto compiled = compiler::compile(p, opt);
+    std::printf("compiled: %s\n",
+                compiled.lowering.graph.summary().c_str());
+    std::printf("resources: %s\n", compiled.resources.str().c_str());
+    std::printf("CMMC: %d tokens, %d credits, %d multibuffered, "
+                "%d fifo-lowered tensors\n",
+                compiled.lowering.stats.tokens,
+                compiled.lowering.stats.credits,
+                compiled.lowering.stats.multibufferedTensors,
+                compiled.lowering.stats.fifoLoweredTensors);
+
+    // ------------------------------------------------------------------
+    // 3. Simulate with real data and compare against the sequential
+    //    interpreter (CMMC's correctness contract).
+    // ------------------------------------------------------------------
+    std::vector<double> dataA(n), dataB(n);
+    for (int64_t i = 0; i < n; ++i) {
+        dataA[i] = static_cast<double>(i % 97);
+        dataB[i] = static_cast<double>(i % 31);
+    }
+
+    sim::Simulator simulator(compiled.program, compiled.lowering.graph,
+                             dram::DramSpec::hbm2());
+    simulator.setDramTensor(a, dataA);
+    simulator.setDramTensor(bv, dataB);
+    auto result = simulator.run();
+
+    ir::Interpreter interp(compiled.program);
+    interp.setTensor(a, dataA);
+    interp.setTensor(bv, dataB);
+    auto ref = interp.run();
+
+    int mismatches = 0;
+    for (int64_t i = 0; i < n; ++i)
+        if (result.tensors[c.index()][i] != ref.tensors[c.index()][i])
+            ++mismatches;
+
+    std::printf("simulated %llu cycles (%.2f us @1GHz), %.1f GB/s DRAM, "
+                "%llu firings\n",
+                static_cast<unsigned long long>(result.cycles),
+                result.cycles / 1e3, result.dramAchievedBytesPerCycle,
+                static_cast<unsigned long long>(result.totalFirings));
+    std::printf("verification: %s\n",
+                mismatches == 0 ? "PASS (matches sequential semantics)"
+                                : "FAIL");
+    return mismatches == 0 ? 0 : 1;
+}

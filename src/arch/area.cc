@@ -1,0 +1,26 @@
+#include "arch/area.h"
+
+namespace sara::arch {
+
+double
+AreaModel::chipMm2(const PlasticineSpec &spec) const
+{
+    double units = spec.numPcus() * pcuMm2 + spec.numPmus() * pmuMm2 +
+                   spec.numAgs * agMm2;
+    return units * (1.0 + interconnectOverhead);
+}
+
+double
+AreaModel::chipMm2At12nm(const PlasticineSpec &spec) const
+{
+    return chipMm2(spec) * scaleTo12nm;
+}
+
+double
+AreaModel::fractionOfV100(const PlasticineSpec &spec) const
+{
+    const double v100Mm2 = 815.0;
+    return chipMm2At12nm(spec) / v100Mm2;
+}
+
+} // namespace sara::arch

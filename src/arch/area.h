@@ -1,0 +1,40 @@
+#ifndef SARA_ARCH_AREA_H
+#define SARA_ARCH_AREA_H
+
+/**
+ * @file
+ * Silicon-area model for Plasticine, grounding the paper's headline
+ * "1.9x speedup over a Tesla V100 using only 12% of the silicon
+ * area". Per-unit areas come from the Plasticine paper's 28 nm
+ * synthesis results; technology scaling to the V100's 12 nm node uses
+ * the same normalization the paper cites ([46]).
+ */
+
+#include "arch/plasticine.h"
+
+namespace sara::arch {
+
+/** Component areas in mm^2 at 28 nm (Plasticine [41], Table 3). */
+struct AreaModel
+{
+    double pcuMm2 = 0.849;
+    double pmuMm2 = 0.532;
+    double agMm2 = 0.188;
+    /** Network + fringe overhead as a fraction of unit area. */
+    double interconnectOverhead = 0.30;
+    /** Area scale factor from 28 nm to 12 nm (~0.36x). */
+    double scaleTo12nm = 0.36;
+
+    /** Total chip area at 28 nm for a configuration. */
+    double chipMm2(const PlasticineSpec &spec) const;
+
+    /** Area normalized to the V100's 12 nm process. */
+    double chipMm2At12nm(const PlasticineSpec &spec) const;
+
+    /** Fraction of a V100 die (815 mm^2) this chip occupies. */
+    double fractionOfV100(const PlasticineSpec &spec) const;
+};
+
+} // namespace sara::arch
+
+#endif // SARA_ARCH_AREA_H

@@ -1,0 +1,39 @@
+#include "arch/plasticine.h"
+
+namespace sara::arch {
+
+PlasticineSpec
+PlasticineSpec::paper()
+{
+    PlasticineSpec spec;
+    spec.name = "plasticine-20x20";
+    spec.rows = 20;
+    spec.cols = 20;
+    spec.numAgs = 20;
+    return spec;
+}
+
+PlasticineSpec
+PlasticineSpec::vanilla()
+{
+    PlasticineSpec spec;
+    spec.name = "plasticine-16x8";
+    spec.rows = 16;
+    spec.cols = 8;
+    spec.numAgs = 12;
+    return spec;
+}
+
+PlasticineSpec
+PlasticineSpec::tiny()
+{
+    PlasticineSpec spec;
+    spec.name = "plasticine-tiny";
+    spec.rows = 6;
+    spec.cols = 6;
+    spec.numAgs = 4;
+    spec.pmu.capacityWords = 4096;
+    return spec;
+}
+
+} // namespace sara::arch

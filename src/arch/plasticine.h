@@ -1,0 +1,82 @@
+#ifndef SARA_ARCH_PLASTICINE_H
+#define SARA_ARCH_PLASTICINE_H
+
+/**
+ * @file
+ * The Plasticine RDA hardware specification consumed by the compiler
+ * (resource constraints, Table I/III "HW Spec" constants) and by the
+ * simulator (timing). Values follow the Plasticine paper [41] and the
+ * configuration used in SARA's evaluation: a 20x20 checkerboard of
+ * PCUs and PMUs plus DRAM address generators, 420 physical units
+ * total, 1 GHz clock.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace sara::arch {
+
+/** Pattern Compute Unit limits. */
+struct PcuSpec
+{
+    int lanes = 16;        ///< SIMD width.
+    int stages = 6;        ///< Pipeline stages = max vector ops per PCU.
+    int maxIn = 6;         ///< Max input streams (c_I, Table III).
+    int maxOut = 6;        ///< Max output streams with distinct sources (c_O).
+    int fifoDepth = 16;    ///< Input buffer depth (b_d) in elements.
+    int maxCounters = 8;   ///< Counter chain depth.
+};
+
+/** Pattern Memory Unit limits. */
+struct PmuSpec
+{
+    int banks = 16;             ///< SRAM banks (vector access width).
+    int64_t capacityWords = 65536; ///< 256 KB of 4-byte words.
+    int maxIn = 6;
+    int maxOut = 6;
+    int fifoDepth = 16;
+    int maxCounters = 8;
+    /** Plasticine PMUs serve one read request stream at a time. */
+    int readPorts = 1;
+    int writePorts = 1;
+};
+
+/** Network parameters. */
+struct NetSpec
+{
+    int hopLatency = 2;   ///< Cycles per grid hop (static network).
+    int ejectLatency = 2; ///< Fixed end-point cost per stream.
+    int minLatency = 4;   ///< Lower bound on any inter-unit stream.
+};
+
+/** Chip-level configuration. */
+struct PlasticineSpec
+{
+    std::string name = "plasticine-20x20";
+    int rows = 20;
+    int cols = 20;
+    /** DRAM address generators along the fringe. */
+    int numAgs = 20;
+    PcuSpec pcu;
+    PmuSpec pmu;
+    NetSpec net;
+    double clockGhz = 1.0;
+
+    int numPcus() const { return rows * cols / 2; }
+    int numPmus() const { return rows * cols / 2; }
+    int totalUnits() const { return rows * cols + numAgs; }
+
+    /** The evaluation configuration (§IV-a: 20x20, 420 PUs, 1 GHz). */
+    static PlasticineSpec paper();
+
+    /** The original-Plasticine-paper configuration used for Table V
+     *  (16x8 with DDR3). */
+    static PlasticineSpec vanilla();
+
+    /** Tiny configuration for unit tests (keeps PnR grids small). */
+    static PlasticineSpec tiny();
+};
+
+} // namespace sara::arch
+
+#endif // SARA_ARCH_PLASTICINE_H

@@ -1,0 +1,70 @@
+#include "baseline/gpu_model.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace sara::baseline {
+
+KernelProfile
+profileFor(const std::string &workload)
+{
+    // Calibration sources (qualitative, per the paper's §IV-D
+    // discussion and standard V100 characterization):
+    //  - snet: cuDNN convolutions run near peak; V100 wins absolute
+    //    throughput but loses area-normalized.
+    //  - lstm: single-batch recurrent cells leave SMs mostly idle
+    //    (tiny GEMVs, kernel-serialized across time steps).
+    //  - pr: GunRock parallelizes only the edge frontier; sparse
+    //    graphs (delaunay_n20) expose a few percent of bandwidth.
+    //  - bs/sort/ms: streaming CUDA kernels at a healthy fraction of
+    //    memory bandwidth.
+    //  - rf: pointer-chasing tree walks produce scattered 4-byte
+    //    accesses; effective bandwidth collapses.
+    if (workload == "snet")
+        return {0.55, 0.70, 2, 5.0, "cuDNN conv, near-peak GEMM"};
+    if (workload == "lstm")
+        return {0.04, 0.15, 8, 5.0,
+                "single-batch cuDNN LSTM, per-step kernels"};
+    if (workload == "pr")
+        return {0.02, 0.03, 4, 5.0, "GunRock frontier parallelism only"};
+    if (workload == "bs")
+        return {0.30, 0.60, 1, 5.0, "streaming CUDA kernel"};
+    if (workload == "sort")
+        return {0.10, 0.35, 7, 5.0, "thrust radix/merge passes"};
+    if (workload == "rf")
+        return {0.03, 0.05, 2, 5.0,
+                "divergent tree walks, scattered loads"};
+    if (workload == "ms")
+        return {0.25, 0.45, 1, 5.0, "windowed streaming filter"};
+    // Analytics set (Table V apps are not GPU-compared in the paper;
+    // provide reasonable defaults for completeness).
+    if (workload == "kmeans" || workload == "gda")
+        return {0.35, 0.55, 4, 5.0, "batched dense analytics"};
+    if (workload == "logreg" || workload == "sgd")
+        return {0.20, 0.50, 4, 5.0, "bandwidth-bound analytics"};
+    if (workload == "mlp")
+        return {0.06, 0.25, 3, 5.0, "single-batch GEMV chain"};
+    warn("no GPU profile for '", workload, "'; using defaults");
+    return {};
+}
+
+GpuEstimate
+estimateGpu(const GpuSpec &spec, const KernelProfile &prof, double flops,
+            double bytes)
+{
+    SARA_ASSERT(prof.computeEfficiency > 0 && prof.memoryEfficiency > 0,
+                "bad GPU profile");
+    GpuEstimate e;
+    e.computeTimeUs =
+        flops / (spec.peakFp32Tflops * 1e12 * prof.computeEfficiency) *
+        1e6;
+    e.memoryTimeUs =
+        bytes / (spec.memBwGBs * 1e9 * prof.memoryEfficiency) * 1e6;
+    e.timeUs = std::max(e.computeTimeUs, e.memoryTimeUs) +
+               prof.kernelLaunches * prof.launchOverheadUs;
+    e.computeBound = e.computeTimeUs >= e.memoryTimeUs;
+    return e;
+}
+
+} // namespace sara::baseline

@@ -1,0 +1,30 @@
+#ifndef SARA_BASELINE_PC_WORKLOADS_H
+#define SARA_BASELINE_PC_WORKLOADS_H
+
+/**
+ * @file
+ * PC-era benchmark variants for the Table V comparison. The vanilla
+ * Plasticine compiler supports only a single write and a single read
+ * accessor per VMU and has no memory partitioner, so these programs
+ * are written the way [41]-era Spatial programs were: logical buffers
+ * are duplicated per consumer (extra DRAM reloads and copy loops), and
+ * weight vectors that feed two stages are double-written. Both SARA
+ * and PC compile the *same* program; SARA additionally gets to raise
+ * the par factor (PC cannot, because unrolling multiplies accessors).
+ */
+
+#include "workloads/workload.h"
+
+namespace sara::baseline {
+
+workloads::Workload buildPcKmeans(const workloads::WorkloadConfig &cfg);
+workloads::Workload buildPcGda(const workloads::WorkloadConfig &cfg);
+workloads::Workload buildPcLogreg(const workloads::WorkloadConfig &cfg);
+workloads::Workload buildPcSgd(const workloads::WorkloadConfig &cfg);
+
+workloads::Workload buildPcByName(const std::string &name,
+                                  const workloads::WorkloadConfig &cfg);
+
+} // namespace sara::baseline
+
+#endif // SARA_BASELINE_PC_WORKLOADS_H

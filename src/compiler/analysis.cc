@@ -1,0 +1,222 @@
+#include "compiler/analysis.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/logging.h"
+
+namespace sara::compiler {
+
+using namespace ir;
+
+std::vector<TensorAccess>
+collectAccessors(const Program &p)
+{
+    std::vector<TensorAccess> out(p.numTensors());
+    for (size_t t = 0; t < p.numTensors(); ++t)
+        out[t].tensor = TensorId(t);
+    p.forEachCtrl([&](const CtrlNode &node) {
+        if (!node.isLeaf())
+            return;
+        for (OpId oid : node.ops) {
+            const Op &o = p.op(oid);
+            if (!isMemoryOp(o.kind))
+                continue;
+            Accessor a;
+            a.op = oid;
+            a.block = node.id;
+            a.tensor = o.tensor;
+            a.isWrite = o.kind == OpKind::Write;
+            a.form = matchAffine(p, o.operands[0]);
+            auto &ta = out[o.tensor.index()];
+            a.index = ta.accessors.size();
+            ta.accessors.push_back(std::move(a));
+        }
+    });
+    return out;
+}
+
+namespace {
+
+/** Value lattice of an affine form: values lie in residue + gcd * Z. */
+struct Lattice
+{
+    bool valid = false;
+    int64_t gcd = 0; ///< 0: single value (residue only).
+    int64_t residue = 0;
+};
+
+Lattice
+formLattice(const Program &p, const AffineForm &form)
+{
+    Lattice lat;
+    lat.residue = form.base;
+    lat.gcd = 0;
+    for (const auto &[loop, c] : form.coeffs) {
+        if (c == 0)
+            continue;
+        const CtrlNode &node = p.ctrl(loop);
+        if (node.kind != CtrlKind::Loop || !node.min.isConst ||
+            !node.step.isConst)
+            return lat; // invalid
+        lat.residue += c * node.min.cval;
+        lat.gcd = std::gcd(lat.gcd, std::abs(c * node.step.cval));
+    }
+    lat.valid = true;
+    return lat;
+}
+
+std::optional<std::pair<int64_t, int64_t>>
+fullSpan(const Program &p, const AffineForm &form)
+{
+    std::vector<CtrlId> loops;
+    for (const auto &[loop, c] : form.coeffs)
+        if (c != 0)
+            loops.push_back(loop);
+    return affineSpan(p, form, loops);
+}
+
+} // namespace
+
+bool
+mayAlias(const Program &p, const Accessor &a, const Accessor &b)
+{
+    if (!a.form || !b.form)
+        return true;
+
+    // Span test: disjoint address ranges never alias.
+    auto sa = fullSpan(p, *a.form);
+    auto sb = fullSpan(p, *b.form);
+    if (sa && sb && (sa->second < sb->first || sb->second < sa->first))
+        return false;
+
+    // Modular lattice test: A ⊆ ra + ga*Z, B ⊆ rb + gb*Z are disjoint
+    // when (ra - rb) is not divisible by gcd(ga, gb).
+    Lattice la = formLattice(p, *a.form);
+    Lattice lb = formLattice(p, *b.form);
+    if (la.valid && lb.valid) {
+        int64_t g = std::gcd(la.gcd, lb.gcd);
+        if (g > 0 && ((la.residue - lb.residue) % g) != 0)
+            return false;
+        if (g == 0 && la.residue != lb.residue)
+            return false; // Both constant addresses, different values.
+    }
+    return true;
+}
+
+bool
+lcdMayAlias(const Program &p, const Accessor &a, const Accessor &b,
+            CtrlId loop)
+{
+    if (!a.form || !b.form)
+        return true;
+    // Only the identical-form case gets the sharper cross-iteration
+    // test; otherwise fall back to the whole-space test.
+    if (a.form->base != b.form->base)
+        return mayAlias(p, a, b);
+    std::map<CtrlId, int64_t> merged = a.form->coeffs;
+    for (const auto &[l, c] : b.form->coeffs)
+        merged.try_emplace(l, 0);
+    for (const auto &[l, c] : merged)
+        if (a.form->coeff(l) != b.form->coeff(l))
+            return mayAlias(p, a, b);
+
+    // Identical form. The LCD token (at LCA rate) orders the accessors
+    // across iterations of `loop` AND of every loop enclosing it, so a
+    // collision at any distinct common-iteration point keeps the edge:
+    //  - a common loop the address ignores repeats the same addresses
+    //    every one of its iterations -> collide;
+    //  - otherwise the form must be injective over its whole iteration
+    //    space (mixed-radix dominance) to rule out cancellation.
+    if (a.form->coeff(loop) == 0)
+        return true;
+    for (CtrlId l : p.enclosingLoops(loop))
+        if (a.form->coeff(l) == 0)
+            return true;
+    std::vector<std::pair<int64_t, int64_t>> terms; // (|c*step|, trips)
+    for (const auto &[l, c] : a.form->coeffs) {
+        if (c == 0)
+            continue;
+        const CtrlNode &n = p.ctrl(l);
+        if (n.kind != CtrlKind::Loop || !n.min.isConst ||
+            !n.max.isConst || !n.step.isConst)
+            return true;
+        int64_t trips =
+            (n.max.cval - n.min.cval + n.step.cval - 1) / n.step.cval;
+        if (trips <= 0)
+            return true;
+        terms.push_back({std::abs(c * n.step.cval), trips});
+    }
+    std::sort(terms.begin(), terms.end());
+    int64_t reach = 0;
+    for (const auto &[c, trips] : terms) {
+        if (c <= reach)
+            return true;
+        reach += c * (trips - 1);
+    }
+    return false;
+}
+
+int
+levelAt(const Program &p, CtrlId block, CtrlId scope)
+{
+    int count = 0;
+    for (CtrlId loop : p.enclosingLoops(block))
+        if (loop == scope || p.isAncestor(loop, scope))
+            ++count;
+    return count;
+}
+
+std::vector<BranchAncestor>
+branchAncestors(const Program &p, CtrlId node)
+{
+    std::vector<BranchAncestor> out;
+    auto chain = p.ancestry(node);
+    for (size_t i = 0; i + 1 < chain.size(); ++i) {
+        const CtrlNode &n = p.ctrl(chain[i]);
+        if (n.kind != CtrlKind::Branch)
+            continue;
+        CtrlId child = chain[i + 1];
+        bool inThen = std::find(n.children.begin(), n.children.end(),
+                                child) != n.children.end();
+        out.push_back({n.id, inThen});
+    }
+    return out;
+}
+
+bool
+exclusiveClauses(const Program &p, CtrlId a, CtrlId b)
+{
+    auto ba = branchAncestors(p, a);
+    auto bb = branchAncestors(p, b);
+    for (const auto &x : ba)
+        for (const auto &y : bb)
+            if (x.branch == y.branch && x.inThen != y.inThen)
+                return true;
+    return false;
+}
+
+CtrlId
+innermostCommonLoop(const Program &p, CtrlId a, CtrlId b)
+{
+    CtrlId l = p.lca(a, b);
+    for (CtrlId cur = l; cur.valid(); cur = p.ctrl(cur).parent) {
+        const CtrlNode &n = p.ctrl(cur);
+        if ((n.kind == CtrlKind::Loop || n.kind == CtrlKind::While) &&
+            cur != a && cur != b)
+            return cur;
+    }
+    return CtrlId{};
+}
+
+bool
+whileBetween(const Program &p, CtrlId scope, CtrlId node)
+{
+    for (CtrlId cur = node; cur.valid() && cur != scope;
+         cur = p.ctrl(cur).parent)
+        if (cur != node && p.ctrl(cur).kind == CtrlKind::While)
+            return true;
+    return false;
+}
+
+} // namespace sara::compiler

@@ -1,0 +1,170 @@
+#include "compiler/cmmc.h"
+
+#include <algorithm>
+
+#include "support/digraph.h"
+#include "support/logging.h"
+
+namespace sara::compiler {
+
+using namespace ir;
+
+bool
+DepGraph::hasEdge(size_t src, size_t dst, bool backward) const
+{
+    for (const auto &e : edges)
+        if (e.src == src && e.dst == dst && e.backward == backward)
+            return true;
+    return false;
+}
+
+DepGraph
+buildDepGraph(const Program &p, const TensorAccess &ta,
+              const DepGraphOptions &options)
+{
+    const auto &acc = ta.accessors;
+    DepGraph g;
+    g.n = acc.size();
+
+    auto shardOf = [&](size_t i) -> int {
+        if (options.staticShard.empty())
+            return 0;
+        return options.staticShard[i];
+    };
+    auto sameShardPossible = [&](size_t i, size_t j) {
+        int si = shardOf(i), sj = shardOf(j);
+        if (si < 0 || sj < 0)
+            return true; // A dynamic port touches every shard.
+        return si == sj;
+    };
+
+    for (size_t j = 0; j < acc.size(); ++j) {
+        for (size_t i = 0; i < j; ++i) {
+            const Accessor &a = acc[i];
+            const Accessor &b = acc[j];
+            bool conflict = a.isWrite || b.isWrite;
+            bool rar = !a.isWrite && !b.isWrite && options.enforceRar &&
+                       sameShardPossible(i, j);
+            if (options.fullSerialize) {
+                // Vanilla PC: every consecutive accessor pair is
+                // ordered via the hierarchical FSM.
+                if (j == i + 1) {
+                    g.edges.push_back({i, j, false, CtrlId{}, 1});
+                    CtrlId loop = innermostCommonLoop(p, a.block, b.block);
+                    if (loop.valid())
+                        g.edges.push_back({j, i, true, loop, 1});
+                }
+                continue;
+            }
+            if (!conflict && !rar)
+                continue;
+            bool disjoint = conflict && !rar && !mayAlias(p, a, b);
+            if (disjoint)
+                continue;
+            // Forward dependency unless the two accesses are mutually
+            // exclusive for the same iteration (different clauses of a
+            // common branch, Fig. 5b).
+            if (!exclusiveClauses(p, a.block, b.block))
+                g.edges.push_back({i, j, false, CtrlId{}, 1});
+            // Backward LCD on the innermost common loop: accessor i in
+            // the next iteration must wait for accessor j in this one.
+            // RAR LCDs are a port-ordering constraint and apply
+            // regardless of addresses; data LCDs are pruned when the
+            // addresses provably never collide across iterations.
+            CtrlId loop = innermostCommonLoop(p, a.block, b.block);
+            if (loop.valid() &&
+                (rar || lcdMayAlias(p, a, b, loop)))
+                g.edges.push_back({j, i, true, loop, 1});
+        }
+    }
+    return g;
+}
+
+ReduceStats
+reduceDepGraph(DepGraph &g)
+{
+    ReduceStats stats;
+
+    // --- Pass 1: transitive reduction of the forward DAG. ---
+    Digraph fwd(g.n);
+    for (const auto &e : g.edges)
+        if (!e.backward)
+            fwd.addEdge(e.src, e.dst);
+    size_t before = fwd.numEdges();
+    fwd.transitiveReduction();
+    stats.forwardRemoved = static_cast<int>(before - fwd.numEdges());
+    std::vector<DepEdge> kept;
+    for (const auto &e : g.edges) {
+        if (e.backward || fwd.hasEdge(e.src, e.dst))
+            kept.push_back(e);
+    }
+    // Deduplicate forward edges that appeared multiple times.
+    std::vector<DepEdge> dedup;
+    for (const auto &e : kept) {
+        bool dup = false;
+        for (const auto &k : dedup)
+            if (k.src == e.src && k.dst == e.dst &&
+                k.backward == e.backward && k.loop == e.loop)
+                dup = true;
+        if (!dup)
+            dedup.push_back(e);
+    }
+    stats.forwardRemoved +=
+        static_cast<int>(kept.size() - dedup.size());
+    g.edges = std::move(dedup);
+
+    // --- Pass 2: backward-edge pruning. A backward edge (b -> a,
+    // loop L, credit X) is subsumed when an alternative path from b to
+    // a uses forward edges plus exactly one other backward edge with
+    // the same loop and credit (paper §III-A3b). ---
+    auto forwardReach = [&](size_t from, size_t to) {
+        if (from == to)
+            return true;
+        std::vector<bool> seen(g.n, false);
+        std::vector<size_t> stack{from};
+        seen[from] = true;
+        while (!stack.empty()) {
+            size_t cur = stack.back();
+            stack.pop_back();
+            if (cur == to)
+                return true;
+            for (const auto &e : g.edges) {
+                if (e.backward || e.src != cur)
+                    continue;
+                if (!seen[e.dst]) {
+                    seen[e.dst] = true;
+                    stack.push_back(e.dst);
+                }
+            }
+        }
+        return false;
+    };
+
+    for (size_t i = 0; i < g.edges.size(); ++i) {
+        DepEdge &e = g.edges[i];
+        if (!e.backward || e.pruned)
+            continue;
+        for (size_t j = 0; j < g.edges.size(); ++j) {
+            if (j == i)
+                continue;
+            const DepEdge &alt = g.edges[j];
+            if (!alt.backward || alt.pruned || alt.loop != e.loop ||
+                alt.credit != e.credit)
+                continue;
+            if (forwardReach(e.src, alt.src) &&
+                forwardReach(alt.dst, e.dst)) {
+                e.pruned = true;
+                ++stats.backwardRemoved;
+                break;
+            }
+        }
+    }
+    std::vector<DepEdge> remaining;
+    for (const auto &e : g.edges)
+        if (!e.pruned)
+            remaining.push_back(e);
+    g.edges = std::move(remaining);
+    return stats;
+}
+
+} // namespace sara::compiler

@@ -1,0 +1,85 @@
+#ifndef SARA_COMPILER_CMMC_H
+#define SARA_COMPILER_CMMC_H
+
+/**
+ * @file
+ * Compiler-Managed Memory Consistency (paper §III-A): the per-tensor
+ * accessor dependency graph and the control-reduction analysis
+ * (§III-A3) that minimizes allocated tokens.
+ *
+ * Nodes are accessor indices (program order) of one tensor. Forward
+ * edges order earlier accesses before later ones within an iteration
+ * of their LCA scope; backward edges are loop-carried dependencies
+ * (LCDs) that become credits (initial tokens).
+ */
+
+#include <vector>
+
+#include "compiler/analysis.h"
+#include "ir/program.h"
+
+namespace sara::compiler {
+
+/** One dependency between two accessors of a tensor. */
+struct DepEdge
+{
+    size_t src = 0;
+    size_t dst = 0;
+    bool backward = false; ///< LCD edge (becomes a credit).
+    ir::CtrlId loop;       ///< LCD: the associated loop (edge color in Fig. 5).
+    int credit = 1;        ///< Initial tokens for backward edges.
+    bool pruned = false;   ///< Scratch flag used during reduction.
+};
+
+/** Dependency graph over one tensor's accessors. */
+struct DepGraph
+{
+    size_t n = 0;
+    std::vector<DepEdge> edges;
+
+    bool hasEdge(size_t src, size_t dst, bool backward) const;
+};
+
+/** Construction knobs. */
+struct DepGraphOptions
+{
+    /** Enforce read-after-read order (on-chip PMUs serve one read
+     *  request stream at a time). */
+    bool enforceRar = false;
+    /** Per-accessor static shard (-1 = dynamic); RAR only applies to
+     *  reads that can collide on a shard. Empty = single shard. */
+    std::vector<int> staticShard;
+    /** Skip alias-based pruning and order *every* consecutive pair —
+     *  the vanilla-PC control scheme. */
+    bool fullSerialize = false;
+};
+
+/**
+ * Build the dependency graph for one tensor (paper §III-A3a):
+ * - forward W->W, W->R, R->W (and R->R per options) edges between
+ *   earlier and later accessors, except pairs in exclusive branch
+ *   clauses or with provably disjoint addresses;
+ * - backward LCD edges on the innermost common loop for pairs that
+ *   may conflict across its iterations.
+ */
+DepGraph buildDepGraph(const ir::Program &p, const TensorAccess &ta,
+                       const DepGraphOptions &options);
+
+/** Results of the reduction passes. */
+struct ReduceStats
+{
+    int forwardRemoved = 0;
+    int backwardRemoved = 0;
+};
+
+/**
+ * Control-reduction analysis (paper §III-A3b): transitive reduction of
+ * the forward-dependency DAG, then pruning of backward edges subsumed
+ * by an alternative path containing exactly one backward edge of the
+ * same loop and credit.
+ */
+ReduceStats reduceDepGraph(DepGraph &graph);
+
+} // namespace sara::compiler
+
+#endif // SARA_COMPILER_CMMC_H

@@ -1,0 +1,110 @@
+#include "compiler/driver.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "compiler/duplicate.h"
+#include "compiler/merging.h"
+#include "compiler/partition.h"
+#include "compiler/pnr.h"
+#include "compiler/retime.h"
+#include "support/logging.h"
+
+namespace sara::compiler {
+
+namespace {
+
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+std::string
+ResourceReport::str() const
+{
+    std::ostringstream os;
+    os << "PCU " << pcus << "/" << pcusAvail << ", PMU " << pmus << "/"
+       << pmusAvail << ", AG " << ags << "/" << agsAvail
+       << (fits ? "" : " [DOES NOT FIT]");
+    return os.str();
+}
+
+CompileResult
+compile(const ir::Program &input, const CompilerOptions &options)
+{
+    CompileResult result;
+    auto t0 = std::chrono::steady_clock::now();
+
+    // 1. Parallelization lowering (consume par factors).
+    result.program = input;
+    auto tUnroll = std::chrono::steady_clock::now();
+    result.unrollStats =
+        unrollProgram(result.program, options.spec.pcu.lanes);
+    if (options.enableDuplication &&
+        options.control == ControlScheme::Cmmc)
+        duplicateReadShared(result.program, options);
+    result.timing.unrollMs = msSince(tUnroll);
+
+    // 2. Imperative-to-dataflow lowering + CMMC.
+    auto tLower = std::chrono::steady_clock::now();
+    result.lowering = lowerToVudfg(result.program, options);
+    result.timing.lowerMs = msSince(tLower);
+
+    // 3. Compute partitioning: split oversized VCUs (Table I/III).
+    auto tPart = std::chrono::steady_clock::now();
+    if (!options.ignoreResourceLimits) {
+        PartitionReport pr =
+            partitionCompute(result.lowering.graph, options);
+        result.partitionsCreated = pr.partitionsCreated;
+    }
+    result.timing.partitionMs = msSince(tPart);
+
+    // 4. Global merging: pack small VUs into physical units.
+    auto tMerge = std::chrono::steady_clock::now();
+    MergeReport mr = globalMerge(result.lowering.graph, options);
+    result.unitsMerged = mr.unitsMerged;
+    result.timing.mergeMs = msSince(tMerge);
+
+    // 5. Placement & routing: physical latencies per stream.
+    auto tPnr = std::chrono::steady_clock::now();
+    PnrReport pnr = placeAndRoute(result.lowering.graph, options);
+    result.timing.pnrMs = msSince(tPnr);
+    (void)pnr;
+
+    // 6. Retiming: deepen FIFOs on imbalanced reconvergent paths
+    //    (uses the routed latencies).
+    RetimeReport rr;
+    if (options.enableRetime)
+        rr = retimeStreams(result.lowering.graph, options);
+
+    // 7. Resource report.
+    ResourceReport &res = result.resources;
+    res.pcusAvail = options.spec.numPcus();
+    res.pmusAvail = options.spec.numPmus();
+    res.agsAvail = options.spec.numAgs;
+    res.mergeUnits = result.lowering.stats.mergeUnits;
+    res.controllerUnits = result.lowering.stats.controllerUnits;
+    res.retimeUnits = rr.retimeUnits;
+    res.pcus = mr.pcuGroups + res.mergeUnits + res.controllerUnits +
+               rr.retimePcus;
+    res.pmus = mr.pmuGroups + rr.retimePmus;
+    res.ags = mr.agGroups;
+    res.fits = res.pcus <= res.pcusAvail && res.pmus <= res.pmusAvail &&
+               res.ags <= res.agsAvail;
+    if (!res.fits) {
+        if (options.strictFit && !options.ignoreResourceLimits)
+            fatal("design does not fit: ", res.str());
+        else
+            warn("design does not fit: ", res.str());
+    }
+
+    result.timing.totalMs = msSince(t0);
+    return result;
+}
+
+} // namespace sara::compiler

@@ -1,0 +1,67 @@
+#ifndef SARA_COMPILER_DRIVER_H
+#define SARA_COMPILER_DRIVER_H
+
+/**
+ * @file
+ * The SARA compilation pipeline (paper Fig. 3): unroll ->
+ * imperative-to-dataflow lowering (+CMMC) -> compute partitioning ->
+ * global merging -> retiming -> virtual-to-physical assignment ->
+ * placement & routing. `compile` returns everything the simulator and
+ * the benchmark harness need.
+ */
+
+#include <string>
+
+#include "compiler/lowering.h"
+#include "compiler/options.h"
+#include "compiler/unroll.h"
+#include "ir/program.h"
+
+namespace sara::compiler {
+
+/** Physical resource usage after mapping. */
+struct ResourceReport
+{
+    int pcus = 0;       ///< Compute units used (incl. merge/retime).
+    int pmus = 0;       ///< Memory units used.
+    int ags = 0;        ///< DRAM address generators used.
+    int retimeUnits = 0;
+    int mergeUnits = 0;
+    int controllerUnits = 0;
+    int pcusAvail = 0, pmusAvail = 0, agsAvail = 0;
+    bool fits = true;
+
+    int total() const { return pcus + pmus + ags; }
+    std::string str() const;
+};
+
+/** Per-phase compile timing (Fig. 11b/c). */
+struct CompileTiming
+{
+    double unrollMs = 0;
+    double lowerMs = 0;
+    double partitionMs = 0;
+    double mergeMs = 0;
+    double pnrMs = 0;
+    double totalMs = 0;
+};
+
+/** Full compilation output. */
+struct CompileResult
+{
+    ir::Program program; ///< Post-unroll program (simulation oracle).
+    Lowering lowering;   ///< Graph + maps + CMMC statistics.
+    UnrollStats unrollStats;
+    ResourceReport resources;
+    CompileTiming timing;
+    int partitionsCreated = 0; ///< Sub-VCUs added by compute partition.
+    int unitsMerged = 0;       ///< VUs packed by global merging.
+};
+
+/** Run the full pipeline on a copy of `input`. */
+CompileResult compile(const ir::Program &input,
+                      const CompilerOptions &options);
+
+} // namespace sara::compiler
+
+#endif // SARA_COMPILER_DRIVER_H

@@ -1,0 +1,116 @@
+#include "compiler/duplicate.h"
+
+#include <algorithm>
+
+#include "compiler/analysis.h"
+#include "support/logging.h"
+
+namespace sara::compiler {
+
+using namespace ir;
+
+namespace {
+
+std::optional<std::pair<int64_t, int64_t>>
+fullSpan(const Program &p, const Accessor &a)
+{
+    if (!a.form)
+        return std::nullopt;
+    std::vector<CtrlId> loops;
+    for (const auto &[loop, c] : a.form->coeffs)
+        if (c != 0)
+            loops.push_back(loop);
+    return affineSpan(p, *a.form, loops);
+}
+
+} // namespace
+
+DuplicateStats
+duplicateReadShared(Program &p, const CompilerOptions &options)
+{
+    DuplicateStats stats;
+    auto access = collectAccessors(p);
+
+    struct Plan
+    {
+        TensorId tensor;
+        std::vector<OpId> writeOps;   ///< All producers (broadcast).
+        std::vector<OpId> dupReaders; ///< Reads that get private copies.
+    };
+    std::vector<Plan> plans;
+
+    for (const auto &ta : access) {
+        const Tensor &tensor = p.tensor(ta.tensor);
+        if (tensor.space != MemSpace::OnChip)
+            continue;
+        std::vector<const Accessor *> writers, readers;
+        for (const auto &a : ta.accessors)
+            (a.isWrite ? writers : readers).push_back(&a);
+        if (writers.empty() || readers.size() < 2)
+            continue;
+        if (readers.size() > 64 || writers.size() > 8)
+            continue; // Copy explosion; sharding handles the rest.
+        if (tensor.size > options.spec.pmu.capacityWords / 2)
+            continue;
+        // Read-modify-write in a writer's block: keep shared.
+        bool rmw = false;
+        for (const auto *r : readers)
+            for (const auto *wr : writers)
+                if (r->block == wr->block)
+                    rmw = true;
+        if (rmw)
+            continue;
+        // Duplicate only when readers would contend: overlapping
+        // spans (disjoint-span readers land on distinct shards).
+        bool contended = false;
+        for (size_t i = 0; i < readers.size() && !contended; ++i) {
+            auto si = fullSpan(p, *readers[i]);
+            for (size_t j = i + 1; j < readers.size(); ++j) {
+                auto sj = fullSpan(p, *readers[j]);
+                if (!si || !sj ||
+                    !(si->second < sj->first || sj->second < si->first)) {
+                    contended = true;
+                    break;
+                }
+            }
+        }
+        if (!contended)
+            continue;
+
+        Plan plan;
+        plan.tensor = ta.tensor;
+        for (const auto *wr : writers)
+            plan.writeOps.push_back(wr->op);
+        for (size_t i = 1; i < readers.size(); ++i)
+            plan.dupReaders.push_back(readers[i]->op);
+        plans.push_back(std::move(plan));
+    }
+
+    for (const auto &plan : plans) {
+        int copy = 0;
+        for (OpId readOp : plan.dupReaders) {
+            TensorId dup = p.addTensor(
+                p.tensor(plan.tensor).name + "_dup" +
+                    std::to_string(copy++),
+                MemSpace::OnChip, p.tensor(plan.tensor).size);
+            p.op(readOp).tensor = dup;
+            // Broadcast every producer's write (same address and data
+            // ops; the lowering turns each into an extra colocated
+            // write engine on the copy's PMU).
+            for (OpId wid : plan.writeOps) {
+                const Op writeOp = p.op(wid);
+                OpId w = p.addOp(
+                    OpKind::Write, writeOp.block,
+                    {writeOp.operands[0], writeOp.operands[1]});
+                p.op(w).tensor = dup;
+            }
+            ++stats.copiesCreated;
+        }
+        ++stats.tensorsDuplicated;
+    }
+    if (!plans.empty())
+        p.verify();
+    return stats;
+}
+
+} // namespace sara::compiler

@@ -1,0 +1,33 @@
+#ifndef SARA_COMPILER_DUPLICATE_H
+#define SARA_COMPILER_DUPLICATE_H
+
+/**
+ * @file
+ * Read-shared buffer duplication. A Plasticine PMU serves one read
+ * request stream at a time (paper §III-A3a), so CMMC must serialize
+ * readers that share a shard — which would destroy the linear scaling
+ * of §IV-A whenever unrolled consumers all sweep one small buffer
+ * (weights, lookup tables, per-tile inputs). Spatial programs solve
+ * this by duplicating small read-shared buffers per consumer; this
+ * pass does it automatically: each additional reader gets a private
+ * copy, and the single producer broadcasts its writes to every copy.
+ */
+
+#include "compiler/options.h"
+#include "ir/program.h"
+
+namespace sara::compiler {
+
+struct DuplicateStats
+{
+    int tensorsDuplicated = 0;
+    int copiesCreated = 0;
+};
+
+/** Rewrite `program` in place (post-unroll). */
+DuplicateStats duplicateReadShared(ir::Program &program,
+                                   const CompilerOptions &options);
+
+} // namespace sara::compiler
+
+#endif // SARA_COMPILER_DUPLICATE_H

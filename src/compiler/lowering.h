@@ -1,0 +1,70 @@
+#ifndef SARA_COMPILER_LOWERING_H
+#define SARA_COMPILER_LOWERING_H
+
+/**
+ * @file
+ * Imperative-to-dataflow lowering (paper §III-A): turns a (post-
+ * unroll) program into a VUDFG. Allocates a VCU per hyperblock, a VMU
+ * (shard set) per on-chip tensor, request/response engines per memory
+ * access, AGs per DRAM access, cross-hyperblock data streams at
+ * LCA-derived rates, control streams (dynamic bounds, branch
+ * predicates, do-while conditions), and CMMC tokens/credits.
+ *
+ * Optimization decisions folded in here (Fig. 10 knobs):
+ *  - msr: qualifying scratchpads lower to direct producer->consumer
+ *    streams (no VMU);
+ *  - rtelm: pure copy hyperblocks elide their VCU, wiring the read
+ *    engine to the write engine;
+ *  - xbar-elm: affine addresses are recomputed locally in the memory
+ *    engines instead of being streamed from the compute unit;
+ *  - multibuffer: producer/consumer tensors get depth-2 buffers and
+ *    relaxed credits (the "1+ initial credit" of §III-A1).
+ */
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "compiler/analysis.h"
+#include "compiler/options.h"
+#include "dfg/vudfg.h"
+#include "ir/program.h"
+
+namespace sara::compiler {
+
+/** Lowering output: the graph plus maps and statistics for tests. */
+struct Lowering
+{
+    dfg::Vudfg graph;
+
+    /** Hyperblock -> its VCU (absent when the block was copy-elided). */
+    std::unordered_map<int32_t, dfg::VuId> blockUnit;
+    /** Memory-access op -> its request engine (MemPort or AG). */
+    std::unordered_map<int32_t, dfg::VuId> accessEngine;
+
+    struct Stats
+    {
+        int tokens = 0;             ///< Token streams allocated.
+        int credits = 0;            ///< Initial credits across them.
+        int forwardEdgesBefore = 0;
+        int forwardEdgesRemoved = 0;
+        int backwardEdgesRemoved = 0;
+        int fifoLoweredTensors = 0; ///< msr hits.
+        int copyElidedBlocks = 0;   ///< rtelm hits.
+        int multibufferedTensors = 0;
+        int shardedTensors = 0;
+        int dynamicPorts = 0;
+        int mergeUnits = 0;         ///< Crossbar/merge cost (Fig. 8).
+        int controllerUnits = 0;    ///< Hierarchical-FSM hubs (PC mode).
+    } stats;
+
+    std::vector<std::string> notes;
+};
+
+/** Lower `program` (must be post-unroll: no par > 1 left). */
+Lowering lowerToVudfg(const ir::Program &program,
+                      const CompilerOptions &options);
+
+} // namespace sara::compiler
+
+#endif // SARA_COMPILER_LOWERING_H

@@ -1,0 +1,46 @@
+#ifndef SARA_COMPILER_MERGING_H
+#define SARA_COMPILER_MERGING_H
+
+/**
+ * @file
+ * Global merging (paper §III-B1b): packing virtual units into physical
+ * units to reduce resource fragmentation. Formulated as the same
+ * assignment problem as compute partitioning, over the VUDFG instead
+ * of a single VCU's dataflow, with the extra counter-chain capacity
+ * constraint. Static memory ports are pre-merged with their VMU (the
+ * paper's colocated request/response engines); AGs map one-to-one to
+ * DRAM interfaces.
+ */
+
+#include "compiler/options.h"
+#include "compiler/partition.h"
+#include "dfg/vudfg.h"
+
+namespace sara::compiler {
+
+/** Merge outcome: group counts per physical-unit class. */
+struct MergeReport
+{
+    int unitsMerged = 0; ///< Compute-class units packed with another.
+    int pcuGroups = 0;
+    int pmuGroups = 0;
+    int agGroups = 0;
+
+    int totalGroups() const { return pcuGroups + pmuGroups + agGroups; }
+};
+
+/**
+ * Assign every unit's `mergedInto` group id and `assigned` class.
+ * Uses options.partitioner for the compute-class packing.
+ */
+MergeReport globalMerge(dfg::Vudfg &graph, const CompilerOptions &options);
+
+/** Build the abstract merge problem over compute-class units (exposed
+ *  for the Fig. 11 benchmark). Returns the unit ids per node. */
+PartitionProblem buildMergeProblem(const dfg::Vudfg &graph,
+                                   const CompilerOptions &options,
+                                   std::vector<dfg::VuId> *nodes);
+
+} // namespace sara::compiler
+
+#endif // SARA_COMPILER_MERGING_H

@@ -1,0 +1,34 @@
+#ifndef SARA_COMPILER_PNR_H
+#define SARA_COMPILER_PNR_H
+
+/**
+ * @file
+ * Placement and routing (paper Fig. 3, phase two). Places merged unit
+ * groups onto the Plasticine checkerboard (PCU/PMU cells plus fringe
+ * AG slots) with simulated annealing on total weighted wirelength,
+ * routes streams in X-Y dimension order to estimate congestion, and
+ * annotates every stream with its physical latency — the numbers the
+ * cycle-level simulator then honours.
+ */
+
+#include "compiler/options.h"
+#include "dfg/vudfg.h"
+
+namespace sara::compiler {
+
+struct PnrReport
+{
+    bool placed = true;
+    int gridRows = 0;
+    int gridCols = 0;   ///< May exceed the spec for oversized designs.
+    double wirelength = 0.0;
+    int maxLinkLoad = 0;
+    double avgStreamLatency = 0.0;
+};
+
+/** Place groups, set VUnit::placeX/Y and Stream::latency. */
+PnrReport placeAndRoute(dfg::Vudfg &graph, const CompilerOptions &options);
+
+} // namespace sara::compiler
+
+#endif // SARA_COMPILER_PNR_H

@@ -1,0 +1,100 @@
+#include "compiler/retime.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/logging.h"
+
+namespace sara::compiler {
+
+using dfg::InputRole;
+using dfg::StreamKind;
+
+RetimeReport
+retimeStreams(dfg::Vudfg &graph, const CompilerOptions &options)
+{
+    RetimeReport report;
+    const size_t n = graph.numUnits();
+
+    // Role lookup per stream (from its destination binding).
+    std::vector<InputRole> role(graph.numStreams(), InputRole::Operand);
+    for (const auto &u : graph.units())
+        for (const auto &in : u.inputs)
+            role[in.stream.index()] = in.role;
+
+    auto considered = [&](const dfg::Stream &s) {
+        if (s.kind != StreamKind::Data)
+            return false;
+        if (s.src == s.dst)
+            return false; // do-while self feedback.
+        if (role[s.id.index()] == InputRole::WhileCond)
+            return false; // Round-boundary feedback.
+        return true;
+    };
+
+    // Longest-arrival delay per unit over the forward data DAG.
+    std::vector<int> indeg(n, 0);
+    for (const auto &s : graph.streams())
+        if (considered(s))
+            ++indeg[s.dst.index()];
+    std::deque<size_t> ready;
+    for (size_t i = 0; i < n; ++i)
+        if (indeg[i] == 0)
+            ready.push_back(i);
+    std::vector<int64_t> delay(n, 0);
+    size_t seen = 0;
+    while (!ready.empty()) {
+        size_t cur = ready.front();
+        ready.pop_front();
+        ++seen;
+        for (const auto &s : graph.streams()) {
+            if (!considered(s) || s.src.index() != cur)
+                continue;
+            size_t d = s.dst.index();
+            delay[d] = std::max(delay[d], delay[cur] + s.latency + 1);
+            if (--indeg[d] == 0)
+                ready.push_back(d);
+        }
+    }
+    if (seen != n) {
+        warn("retiming skipped: data-flow graph has a cycle");
+        return report;
+    }
+
+    // Slack per stream: how much earlier than the consumer's critical
+    // input this stream's data arrives. That many elements can pile up
+    // and must be buffered for a stall-free pipeline.
+    const int fifoDepth = options.spec.pcu.fifoDepth;
+    const int pcuRetimeCapacity =
+        options.spec.pcu.stages * options.spec.pcu.fifoDepth;
+    const int64_t pmuRetimeCapacity =
+        options.spec.pmu.capacityWords /
+        std::max(1, options.spec.pcu.lanes);
+    for (auto &s : graph.streams()) {
+        if (!considered(s))
+            continue;
+        int64_t arrive = delay[s.src.index()] + s.latency + 1;
+        int64_t slack = delay[s.dst.index()] - arrive;
+        if (slack <= s.depth)
+            continue;
+        int64_t extra = slack - fifoDepth;
+        s.depth = static_cast<int>(slack + fifoDepth);
+        ++report.streamsDeepened;
+        if (extra > 0) {
+            if (options.enableRetimeM) {
+                int units = static_cast<int>(
+                    (extra + pmuRetimeCapacity - 1) / pmuRetimeCapacity);
+                report.retimePmus += units;
+                report.retimeUnits += units;
+            } else {
+                int units = static_cast<int>(
+                    (extra + pcuRetimeCapacity - 1) / pcuRetimeCapacity);
+                report.retimePcus += units;
+                report.retimeUnits += units;
+            }
+        }
+    }
+    return report;
+}
+
+} // namespace sara::compiler

@@ -1,0 +1,33 @@
+#ifndef SARA_COMPILER_RETIME_H
+#define SARA_COMPILER_RETIME_H
+
+/**
+ * @file
+ * Retiming-buffer insertion (paper §III-B1a, §III-C(c)): imbalanced
+ * reconvergent dataflow paths stall the pipeline when the short path's
+ * FIFO fills before the long path delivers. This pass deepens stream
+ * FIFOs to cover the measured slack and accounts the cost in retiming
+ * units — chained PCU FIFOs by default, or PMU scratchpads when
+ * retime-m is enabled (much cheaper per element).
+ */
+
+#include "compiler/options.h"
+#include "dfg/vudfg.h"
+
+namespace sara::compiler {
+
+struct RetimeReport
+{
+    int streamsDeepened = 0;
+    int retimeUnits = 0;
+    int retimePcus = 0;
+    int retimePmus = 0;
+};
+
+/** Deepen imbalanced streams; must run after PnR (uses latencies). */
+RetimeReport retimeStreams(dfg::Vudfg &graph,
+                           const CompilerOptions &options);
+
+} // namespace sara::compiler
+
+#endif // SARA_COMPILER_RETIME_H

@@ -1,0 +1,351 @@
+#include "compiler/unroll.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/logging.h"
+
+namespace sara::compiler {
+
+using namespace ir;
+
+namespace {
+
+struct Unroller
+{
+    Program &p;
+    int lanes;
+    UnrollStats stats;
+
+    /** True if every child of the loop is a hyperblock. */
+    bool
+    isInnermost(const CtrlNode &node) const
+    {
+        for (CtrlId c : node.children)
+            if (!p.ctrl(c).isLeaf())
+                return false;
+        return !node.children.empty();
+    }
+
+    /** Collect all ctrl ids in the subtree rooted at id. */
+    void
+    collectSubtree(CtrlId id, std::unordered_set<int32_t> &out) const
+    {
+        out.insert(id.v);
+        const auto &node = p.ctrl(id);
+        for (CtrlId c : node.children)
+            collectSubtree(c, out);
+        for (CtrlId c : node.elseChildren)
+            collectSubtree(c, out);
+    }
+
+    /** Collect all op ids owned by blocks in the subtree. */
+    void
+    collectOps(const std::unordered_set<int32_t> &subtree,
+               std::unordered_set<int32_t> &ops) const
+    {
+        for (int32_t c : subtree) {
+            const auto &node = p.ctrl(CtrlId(c));
+            for (OpId o : node.ops)
+                ops.insert(o.v);
+        }
+    }
+
+    static OpKind
+    combineKind(OpKind reduce)
+    {
+        switch (reduce) {
+          case OpKind::RedAdd: return OpKind::Add;
+          case OpKind::RedMul: return OpKind::Mul;
+          case OpKind::RedMin: return OpKind::Min;
+          case OpKind::RedMax: return OpKind::Max;
+          default: panic("not a reduce kind");
+        }
+    }
+
+    /**
+     * Spatially unroll loop `id` (inside `siblings` at `pos`) into U
+     * contiguous-chunk clones, each vectorized by vecAssign.
+     * Returns the number of nodes now occupying the original position.
+     */
+    size_t
+    unrollLoop(CtrlId id, std::vector<CtrlId> &siblings, size_t pos,
+               int factor, int vecAssign)
+    {
+        CtrlNode &node = p.ctrl(id);
+        if (!node.min.isConst || !node.max.isConst || !node.step.isConst)
+            fatal("loop ", node.name,
+                  ": outer unrolling requires static bounds");
+        int64_t min = node.min.cval, max = node.max.cval,
+                step = node.step.cval;
+        int64_t trips = (max - min + step - 1) / step;
+        if (trips <= 0)
+            fatal("loop ", node.name, " has non-positive trip count");
+        int64_t u = std::min<int64_t>(factor, trips);
+        int64_t chunk = (trips + u - 1) / u;
+
+        // Reductions over an ancestor of this loop cannot be unrolled
+        // soundly without privatization; reject.
+        std::unordered_set<int32_t> subtree;
+        collectSubtree(id, subtree);
+        std::unordered_set<int32_t> innerOps;
+        collectOps(subtree, innerOps);
+        std::vector<OpId> reducesOverLoop;
+        for (int32_t ov : innerOps) {
+            const Op &o = p.op(OpId(ov));
+            if (isReduceOp(o.kind)) {
+                if (o.ctrl == id) {
+                    reducesOverLoop.push_back(o.id);
+                } else if (!subtree.count(o.ctrl.v)) {
+                    fatal("loop ", node.name, ": cannot unroll across a "
+                          "reduction over an enclosing loop");
+                }
+            }
+        }
+        std::sort(reducesOverLoop.begin(), reducesOverLoop.end());
+
+        // Loop-private tensors (every accessor inside the body) get a
+        // fresh copy per clone — the classic privatization that keeps
+        // unrolled iterations independent (per-sample scratch buffers
+        // would otherwise falsely alias across clones).
+        std::unordered_map<int32_t, int> tensorAccessesInside;
+        std::unordered_map<int32_t, int> tensorAccessesTotal;
+        std::unordered_set<int32_t> readInside;
+        p.forEachCtrl([&](const CtrlNode &cn) {
+            for (OpId oid : cn.ops) {
+                const Op &o = p.op(oid);
+                if (!isMemoryOp(o.kind))
+                    continue;
+                ++tensorAccessesTotal[o.tensor.v];
+                if (innerOps.count(o.id.v)) {
+                    ++tensorAccessesInside[o.tensor.v];
+                    if (o.kind == OpKind::Read)
+                        readInside.insert(o.tensor.v);
+                }
+            }
+        });
+        std::vector<TensorId> privatized;
+        for (const auto &[tid, inside] : tensorAccessesInside) {
+            TensorId t{tid};
+            // Write-only tensors are externally observable results;
+            // only loop-local scratch (written AND read inside) is
+            // privatized.
+            if (p.tensor(t).space == MemSpace::OnChip &&
+                inside == tensorAccessesTotal[tid] &&
+                readInside.count(tid))
+                privatized.push_back(t);
+        }
+        std::sort(privatized.begin(), privatized.end());
+
+        // Consume the par factor before cloning so clones are final.
+        node.par = 1;
+        node.vec = vecAssign;
+        CtrlId parent = node.parent;
+
+        std::vector<CtrlId> clones;
+        std::vector<std::vector<OpId>> opMaps;
+        for (int64_t c = 0; c < u; ++c) {
+            int64_t lo = min + c * chunk * step;
+            int64_t hi = std::min(max, min + (c + 1) * chunk * step);
+            if (lo >= hi)
+                break;
+            std::vector<OpId> omap;
+            CtrlId clone = p.cloneSubtree(id, parent, &omap);
+            auto &cl = p.ctrl(clone);
+            cl.min = Bound(lo);
+            cl.max = Bound(hi);
+            cl.name = p.ctrl(id).name + "#" + std::to_string(c);
+            // Privatize loop-local tensors (clone 0 keeps the
+            // originals).
+            if (c > 0 && !privatized.empty()) {
+                std::unordered_map<int32_t, TensorId> copyOf;
+                for (TensorId t : privatized)
+                    copyOf[t.v] = p.addTensor(
+                        p.tensor(t).name + "#" + std::to_string(c),
+                        MemSpace::OnChip, p.tensor(t).size);
+                for (int32_t ov : innerOps) {
+                    OpId cloned = omap[OpId(ov).index()];
+                    if (!cloned.valid())
+                        continue;
+                    Op &o = p.op(cloned);
+                    if (isMemoryOp(o.kind) && copyOf.count(o.tensor.v))
+                        o.tensor = copyOf[o.tensor.v];
+                }
+            }
+            clones.push_back(clone);
+            opMaps.push_back(std::move(omap));
+            ++stats.clonesCreated;
+        }
+
+        // cloneSubtree appended the clones to parent's `children`; for
+        // else-clause unrolling they belong in `elseChildren`. Move
+        // them back out of `children` first, then splice into place.
+        {
+            auto &pc = p.ctrl(parent).children;
+            for (CtrlId c : clones) {
+                auto it = std::find(pc.begin(), pc.end(), c);
+                SARA_ASSERT(it != pc.end(), "clone not under parent");
+                pc.erase(it);
+            }
+        }
+
+        // Combining blocks for reductions over the unrolled loop.
+        std::unordered_map<int32_t, OpId> combineMap;
+        std::vector<CtrlId> combineBlocks;
+        if (!reducesOverLoop.empty()) {
+            CtrlId blk = p.addCtrl(CtrlKind::Block, parent,
+                                   p.ctrl(id).name + "_combine");
+            {
+                auto &pc = p.ctrl(parent).children;
+                pc.erase(std::find(pc.begin(), pc.end(), blk));
+            }
+            for (OpId r : reducesOverLoop) {
+                OpKind ck = combineKind(p.op(r).kind);
+                OpId acc = opMaps[0][r.index()];
+                for (size_t c = 1; c < clones.size(); ++c)
+                    acc = p.addOp(ck, blk, {acc, opMaps[c][r.index()]});
+                combineMap[r.v] = acc;
+            }
+            combineBlocks.push_back(blk);
+            ++stats.combineBlocks;
+        }
+
+        // Redirect external references to subtree ops: reductions go to
+        // the combining op; everything else takes the last clone's
+        // value (sequential "most recent value" semantics).
+        const auto &lastMap = opMaps.back();
+        auto redirect = [&](OpId &ref) {
+            if (!ref.valid() || !innerOps.count(ref.v))
+                return;
+            auto it = combineMap.find(ref.v);
+            ref = (it != combineMap.end()) ? it->second
+                                           : lastMap[ref.index()];
+        };
+        std::unordered_set<int32_t> newOps;
+        for (const auto &m : opMaps)
+            for (int32_t ov : innerOps)
+                if (m[OpId(ov).index()].valid())
+                    newOps.insert(m[OpId(ov).index()].v);
+        for (size_t i = 0; i < p.numOps(); ++i) {
+            Op &o = p.op(OpId(i));
+            if (innerOps.count(o.id.v) || newOps.count(o.id.v))
+                continue;
+            for (OpId &operand : o.operands)
+                redirect(operand);
+        }
+        p.forEachCtrl([&](const CtrlNode &cn) {
+            if (subtree.count(cn.id.v))
+                return;
+            auto &mut = p.ctrl(cn.id);
+            if (!mut.min.isConst)
+                redirect(mut.min.op);
+            if (!mut.step.isConst)
+                redirect(mut.step.op);
+            if (!mut.max.isConst)
+                redirect(mut.max.op);
+            if (mut.cond.valid())
+                redirect(mut.cond);
+        });
+
+        // Splice: replace the original node with clones + combines.
+        std::vector<CtrlId> replacement = clones;
+        replacement.insert(replacement.end(), combineBlocks.begin(),
+                           combineBlocks.end());
+        siblings.erase(siblings.begin() + pos);
+        siblings.insert(siblings.begin() + pos, replacement.begin(),
+                        replacement.end());
+
+        ++stats.unrolledLoops;
+        return replacement.size();
+    }
+
+    /** Process one child-list (a scope), handling par annotations. */
+    void
+    processScope(CtrlId owner, bool elseList)
+    {
+        size_t i = 0;
+        while (true) {
+            // Re-read the list each step: unrolling edits it.
+            auto &list = elseList ? p.ctrl(owner).elseChildren
+                                  : p.ctrl(owner).children;
+            if (i >= list.size())
+                break;
+            CtrlId child = list[i];
+            CtrlNode &node = p.ctrl(child);
+            switch (node.kind) {
+              case CtrlKind::Block:
+                ++i;
+                break;
+              case CtrlKind::Branch:
+                processScope(child, false);
+                processScope(child, true);
+                ++i;
+                break;
+              case CtrlKind::While:
+                if (node.par > 1)
+                    fatal("do-while ", node.name,
+                          " cannot be parallelized");
+                processScope(child, false);
+                ++i;
+                break;
+              case CtrlKind::Seq:
+                processScope(child, false);
+                ++i;
+                break;
+              case CtrlKind::Loop: {
+                if (node.par <= 1) {
+                    node.par = 1;
+                    processScope(child, false);
+                    ++i;
+                    break;
+                }
+                bool inner = isInnermost(node);
+                int vecAssign = inner ? std::min(node.par, lanes) : 1;
+                int factor = inner
+                                 ? (node.par + lanes - 1) / lanes
+                                 : node.par;
+                if (inner)
+                    ++stats.vectorizedLoops;
+                if (factor <= 1) {
+                    node.par = 1;
+                    node.vec = vecAssign;
+                    processScope(child, false);
+                    ++i;
+                    break;
+                }
+                auto &siblings = elseList ? p.ctrl(owner).elseChildren
+                                          : p.ctrl(owner).children;
+                size_t added =
+                    unrollLoop(child, siblings, i, factor, vecAssign);
+                // Recurse into the replacement nodes (clones may hold
+                // nested par loops); they are processed as we advance.
+                size_t end = i + added;
+                while (i < end) {
+                    auto &lst = elseList ? p.ctrl(owner).elseChildren
+                                         : p.ctrl(owner).children;
+                    CtrlId n = lst[i];
+                    if (p.ctrl(n).kind == CtrlKind::Loop)
+                        processScope(n, false);
+                    ++i;
+                }
+                break;
+              }
+            }
+        }
+    }
+};
+
+} // namespace
+
+UnrollStats
+unrollProgram(Program &program, int lanes)
+{
+    SARA_ASSERT(lanes >= 1, "bad lane count");
+    Unroller u{program, lanes, {}};
+    u.processScope(program.root(), false);
+    program.verify();
+    return u.stats;
+}
+
+} // namespace sara::compiler

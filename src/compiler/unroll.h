@@ -1,0 +1,36 @@
+#ifndef SARA_COMPILER_UNROLL_H
+#define SARA_COMPILER_UNROLL_H
+
+/**
+ * @file
+ * Parallelization lowering (paper §II-A(b), §III-B2 context): consumes
+ * per-loop `par` factors. Innermost loops (all children are
+ * hyperblocks) vectorize across the PCU SIMD lanes; outer loops are
+ * spatially unrolled by cloning the body into contiguous iteration
+ * blocks. Reductions over an unrolled loop get a combining hyperblock
+ * that sums the per-clone partials (the paper's reduction trees).
+ */
+
+#include "ir/program.h"
+
+namespace sara::compiler {
+
+/** Statistics about what the pass did. */
+struct UnrollStats
+{
+    int vectorizedLoops = 0;
+    int unrolledLoops = 0;
+    int clonesCreated = 0;
+    int combineBlocks = 0;
+};
+
+/**
+ * Rewrite `program` in place, consuming every par > 1 annotation.
+ * `lanes` is the SIMD width (par beyond it spatially unrolls).
+ * Requires static bounds on loops with par > 1.
+ */
+UnrollStats unrollProgram(ir::Program &program, int lanes);
+
+} // namespace sara::compiler
+
+#endif // SARA_COMPILER_UNROLL_H

@@ -1,0 +1,258 @@
+#ifndef SARA_DFG_VUDFG_H
+#define SARA_DFG_VUDFG_H
+
+/**
+ * @file
+ * The Virtual Unit Dataflow Graph (VUDFG) — SARA's two-level
+ * hierarchical dataflow IR (paper §III). The top level is a graph of
+ * virtual units (VUs) connected by streams; each VU's inner level is a
+ * small local dataflow of lowered ops (LOps) plus a chained counter
+ * stack mirroring the hyperblock's enclosing loops.
+ *
+ * Execution semantics (shared by the simulator):
+ *
+ *  - A unit owns a counter chain c0 (outermost) .. c(n-1) (innermost).
+ *    A "round of level k" is one full sweep of counters k..n-1 for
+ *    fixed values of c0..c(k-1). Level n denotes a single firing.
+ *  - A stream edge pushes when the source counter at `pushLevel` wraps
+ *    (pushLevel == n: every firing) and pops at the destination when
+ *    its counter at `popLevel` wraps. Data streams must be non-empty
+ *    for the consumer to fire; token streams are pure synchronization
+ *    (CMMC tokens and credits; credits are modeled as initTokens).
+ *  - Branch predication: a predicate binding at level k conditions
+ *    rounds of level k. When false, the round is skipped: inputs with
+ *    popLevel == k are popped, token outputs with pushLevel == k are
+ *    forwarded immediately (paper §III-A2b), and data outputs with
+ *    pushLevel == k re-push the most recent value (sequential
+ *    "last value" semantics).
+ *  - Do-while: a While counter pops a condition value after each of
+ *    its iterations and wraps when the condition is false.
+ *
+ * Memory units (VMUs) hold multibuffered storage; their request and
+ * response engines are modeled as MemPort units colocated with the VMU
+ * (the paper maps them into the same physical memory unit in the
+ * common case). DRAM accesses go through Ag units bound to the DRAM
+ * interface.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/id.h"
+#include "ir/op.h"
+
+namespace sara::dfg {
+
+using VuId = ir::Id<struct VuTag>;
+using StreamId = ir::Id<struct StreamTag>;
+
+/** Stream payload classes. */
+enum class StreamKind : uint8_t {
+    Data,  ///< Carries (vectors of) values.
+    Token, ///< Pure synchronization pulse (CMMC token / credit).
+};
+
+/** A stream edge between two virtual units. */
+struct Stream
+{
+    StreamId id;
+    std::string name;
+    StreamKind kind = StreamKind::Data;
+    VuId src, dst;
+    int pushLevel = 0;  ///< Source counter level (src chain size = per firing).
+    int popLevel = 0;   ///< Destination counter level.
+    int initTokens = 0; ///< Pre-filled credits (backward LCD edges).
+    int vec = 1;        ///< Lanes per element (data streams).
+    int depth = 8;      ///< FIFO capacity in elements (hardware b_d).
+    int latency = 1;    ///< Network latency in cycles (set by PnR).
+    int srcLop = -1;    ///< Local op at src whose value is pushed (data).
+};
+
+/** One counter in a unit's chain. */
+struct Counter
+{
+    // Constant bounds; ignored for a dimension fed by a bound stream.
+    int64_t min = 0, step = 1, max = 1;
+    /** Input-binding indices configuring dynamic bounds (-1 = constant). */
+    int minInput = -1, stepInput = -1, maxInput = -1;
+    /** Do-while level: trips until the condition input delivers false. */
+    bool isWhile = false;
+    int whileCondInput = -1;
+    /** SIMD vectorization (innermost counter only). */
+    int vec = 1;
+
+    /** Constant trip count (counts rounds for while as unknown). */
+    std::optional<int64_t>
+    constTrips() const
+    {
+        if (isWhile || minInput >= 0 || stepInput >= 0 || maxInput >= 0)
+            return std::nullopt;
+        if (step <= 0)
+            return std::nullopt;
+        int64_t t = (max - min + step - 1) / step;
+        return t < 0 ? 0 : t;
+    }
+};
+
+/** How a unit consumes one of its input streams. */
+enum class InputRole : uint8_t {
+    Operand,   ///< Per-firing data operand (LOp StreamIn reads it).
+    Bound,     ///< Loop bound for a counter (peeked at round start).
+    Predicate, ///< Branch predicate conditioning rounds at `level`.
+    WhileCond, ///< Do-while continue condition for a While counter.
+    Gate,      ///< CMMC token: must be non-empty; popped at `level`.
+};
+
+/** An input stream binding at the destination unit. */
+struct InputBinding
+{
+    StreamId stream;
+    InputRole role = InputRole::Operand;
+    /** popLevel: counter whose wrap pops the element (chainSize = firing). */
+    int level = 0;
+    /** Predicate polarity: fire on value != 0 (then) or == 0 (else). */
+    bool expectTrue = true;
+};
+
+/** An output stream binding at the source unit. */
+struct OutputBinding
+{
+    StreamId stream;
+    /** pushLevel: counter whose wrap pushes (chainSize = per firing). */
+    int level = 0;
+    /** Local op whose value is sent; -1 for token streams. */
+    int lop = -1;
+};
+
+/** A lowered op inside a unit's local dataflow. */
+struct LOp
+{
+    ir::OpKind kind = ir::OpKind::Const;
+    int a = -1, b = -1, c = -1; ///< Local operand indices.
+    double cval = 0.0;          ///< Const literal.
+    int counter = -1;           ///< Iter: counter level; Red*: reset level.
+    int input = -1;             ///< StreamIn: index into inputs[].
+
+    /** Marker kind reused: Const with input >= 0 means StreamIn. */
+    bool isStreamIn() const { return input >= 0; }
+};
+
+/** Unit kinds at the VUDFG level. */
+enum class VuKind : uint8_t {
+    Compute, ///< VCU: maps to a PCU.
+    Memory,  ///< VMU storage: maps to a PMU.
+    MemPort, ///< Request/response engine colocated with a VMU.
+    Ag,      ///< DRAM address generator / interface engine.
+};
+
+/** Direction of a memory port or AG. */
+enum class AccessDir : uint8_t { Read, Write };
+
+/** Physical unit classes a VU may be assigned to (arch spec mirrors). */
+enum class PuType : uint8_t { Pcu, Pmu, AgIf, None };
+
+/**
+ * A virtual unit: one engine of the spatially pipelined program plus
+ * its role-specific payload.
+ */
+struct VUnit
+{
+    VuId id;
+    std::string name;
+    VuKind kind = VuKind::Compute;
+
+    /** Counter chain, outermost first. Empty = fires exactly once. */
+    std::vector<Counter> counters;
+
+    /** Local dataflow ops (topologically ordered; operands precede). */
+    std::vector<LOp> lops;
+
+    std::vector<InputBinding> inputs;
+    std::vector<OutputBinding> outputs;
+
+    // --- Memory (VMU storage) ---
+    ir::TensorId tensor;     ///< Logical tensor (VMU / MemPort / Ag).
+    int64_t bufferSize = 0;  ///< Elements per buffer copy (VMU).
+    int bufferDepth = 1;     ///< Multibuffer depth (VMU).
+    /** Block sharding: this VMU holds logical addresses in
+     *  [shardIndex * shardInterleave, (shardIndex+1) * shardInterleave)
+     *  (the last shard absorbs the remainder). */
+    int shardIndex = 0;
+    int numShards = 1;
+    int64_t shardInterleave = 1;
+
+    // --- MemPort / Ag ---
+    VuId memUnit;            ///< Owning VMU (MemPort only).
+    AccessDir dir = AccessDir::Read;
+    /** Local op computing the address (-1: address comes via Operand
+     *  input tagged addrInput). */
+    int addrLop = -1;
+    int addrInput = -1;      ///< InputBinding index carrying addresses.
+    int dataInput = -1;      ///< Write: InputBinding carrying store data.
+    /** Read: OutputBinding index for response data; Write: for acks. */
+    int respOutput = -1;
+    /** Dynamic bank-address mode: requests may target any shard of the
+     *  group; modeled with windowed bank-conflict timing. */
+    bool dynamicBank = false;
+    /** Multibuffer rotation: advance this port's buffer pointer when
+     *  the counter at this level wraps (-1: never; depth-1 VMUs). */
+    int rotateLevel = -1;
+
+    // --- Mapping results ---
+    PuType assigned = PuType::None; ///< Virtual-to-physical class.
+    int placeX = -1, placeY = -1;   ///< Grid placement (PnR).
+    int mergedInto = -1;            ///< Physical group id after merging.
+
+    /** Per-firing SIMD width = innermost counter vec. */
+    int
+    vec() const
+    {
+        return counters.empty() ? 1 : counters.back().vec;
+    }
+
+    int chainSize() const { return static_cast<int>(counters.size()); }
+};
+
+/** The whole graph. */
+class Vudfg
+{
+  public:
+    VuId addUnit(VuKind kind, const std::string &name);
+    StreamId addStream(StreamKind kind, VuId src, VuId dst,
+                       const std::string &name);
+
+    VUnit &unit(VuId id) { return units_[id.index()]; }
+    const VUnit &unit(VuId id) const { return units_[id.index()]; }
+    Stream &stream(StreamId id) { return streams_[id.index()]; }
+    const Stream &stream(StreamId id) const { return streams_[id.index()]; }
+
+    size_t numUnits() const { return units_.size(); }
+    size_t numStreams() const { return streams_.size(); }
+    std::vector<VUnit> &units() { return units_; }
+    const std::vector<VUnit> &units() const { return units_; }
+    std::vector<Stream> &streams() { return streams_; }
+    const std::vector<Stream> &streams() const { return streams_; }
+
+    /** Streams into / out of a unit (by scanning; cached by simulator). */
+    std::vector<StreamId> inStreams(VuId id) const;
+    std::vector<StreamId> outStreams(VuId id) const;
+
+    /** Structural validation; panics with a reason on failure. */
+    void validate() const;
+
+    /** Resource summary: units by kind. */
+    std::string summary() const;
+
+    /** Full textual dump. */
+    std::string str() const;
+
+  private:
+    std::vector<VUnit> units_;
+    std::vector<Stream> streams_;
+};
+
+} // namespace sara::dfg
+
+#endif // SARA_DFG_VUDFG_H

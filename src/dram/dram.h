@@ -1,0 +1,97 @@
+#ifndef SARA_DRAM_DRAM_H
+#define SARA_DRAM_DRAM_H
+
+/**
+ * @file
+ * Off-chip DRAM timing model — the stand-in for Ramulator in the
+ * paper's methodology (§IV-a). Channel-interleaved, row-buffer-aware,
+ * bandwidth-limited queueing model. Two configurations mirror the
+ * evaluation: HBM2 at 1 TB/s (scalability + GPU comparison) and DDR3
+ * at 49 GB/s (vanilla-Plasticine comparison, Table V).
+ *
+ * Fidelity notes (see DESIGN.md substitution #2): the evaluation needs
+ * saturation behaviour (memory-bound kernels plateau when achieved
+ * bandwidth hits the pin limit) and a realistic random-access penalty
+ * (row misses); both are modeled. Bank-level parallelism within a
+ * channel is folded into the per-channel service rate.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sara::dram {
+
+/** DRAM technology parameters (timed in accelerator cycles @ 1 GHz). */
+struct DramSpec
+{
+    std::string name = "hbm2";
+    int channels = 8;
+    /** Peak per-channel transfer rate, bytes per accelerator cycle. */
+    double bytesPerCycle = 128.0;
+    /** Channel interleave granularity in bytes. */
+    uint32_t interleave = 256;
+    /** Row-buffer size in bytes. */
+    uint32_t rowBytes = 2048;
+    /** Latency (cycles) for a row-buffer hit / miss. */
+    int rowHitLatency = 30;
+    int rowMissLatency = 70;
+    /** Minimum transfer granularity in bytes (one burst). */
+    uint32_t burstBytes = 64;
+
+    double totalGBs() const { return channels * bytesPerCycle; }
+
+    /** HBM2, ~1 TB/s aggregate (paper's scalability + GPU studies). */
+    static DramSpec hbm2();
+    /** DDR3, ~49 GB/s aggregate (paper's Table V configuration). */
+    static DramSpec ddr3();
+};
+
+/** One in-flight request result. */
+struct DramResult
+{
+    uint64_t completeAt = 0; ///< Cycle the last byte arrives.
+};
+
+/**
+ * Timing-only DRAM model: callers present (byte address, size, issue
+ * cycle) and receive a completion cycle. Functional data is owned by
+ * the simulator's tensor store.
+ */
+class DramModel
+{
+  public:
+    explicit DramModel(DramSpec spec);
+
+    /** Issue a request; returns when it completes. */
+    DramResult access(uint64_t byteAddr, uint32_t bytes, uint64_t now);
+
+    /** Totals for reporting achieved bandwidth. */
+    uint64_t bytesTransferred() const { return bytesTransferred_; }
+    uint64_t requests() const { return requests_; }
+    uint64_t rowHits() const { return rowHits_; }
+    uint64_t busyCycles() const;
+
+    const DramSpec &spec() const { return spec_; }
+
+    /** Achieved bandwidth in bytes/cycle over [0, endCycle]. */
+    double achievedBytesPerCycle(uint64_t endCycle) const;
+
+  private:
+    struct Channel
+    {
+        double freeAt = 0.0;
+        uint64_t openRow = UINT64_MAX;
+        double busy = 0.0;
+    };
+
+    DramSpec spec_;
+    std::vector<Channel> channels_;
+    uint64_t bytesTransferred_ = 0;
+    uint64_t requests_ = 0;
+    uint64_t rowHits_ = 0;
+};
+
+} // namespace sara::dram
+
+#endif // SARA_DRAM_DRAM_H

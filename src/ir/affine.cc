@@ -1,0 +1,145 @@
+#include "ir/affine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace sara::ir {
+
+bool
+AffineForm::isConstant() const
+{
+    for (const auto &[loop, c] : coeffs)
+        if (c != 0)
+            return false;
+    return true;
+}
+
+AffineForm
+operator+(const AffineForm &a, const AffineForm &b)
+{
+    AffineForm out = a;
+    out.base += b.base;
+    for (const auto &[loop, c] : b.coeffs)
+        out.coeffs[loop] += c;
+    return out;
+}
+
+AffineForm
+operator-(const AffineForm &a, const AffineForm &b)
+{
+    AffineForm out = a;
+    out.base -= b.base;
+    for (const auto &[loop, c] : b.coeffs)
+        out.coeffs[loop] -= c;
+    return out;
+}
+
+AffineForm
+AffineForm::scaled(int64_t k) const
+{
+    AffineForm out = *this;
+    out.base *= k;
+    for (auto &[loop, c] : out.coeffs)
+        c *= k;
+    return out;
+}
+
+namespace {
+
+std::optional<int64_t>
+integralConst(double v)
+{
+    double r = std::round(v);
+    if (std::fabs(v - r) > 1e-9)
+        return std::nullopt;
+    return static_cast<int64_t>(r);
+}
+
+std::optional<AffineForm>
+matchRec(const Program &p, OpId id)
+{
+    const Op &o = p.op(id);
+    switch (o.kind) {
+      case OpKind::Const: {
+        auto c = integralConst(o.cval);
+        if (!c)
+            return std::nullopt;
+        AffineForm f;
+        f.base = *c;
+        return f;
+      }
+      case OpKind::Iter: {
+        AffineForm f;
+        f.coeffs[o.ctrl] = 1;
+        return f;
+      }
+      case OpKind::Add: {
+        auto a = matchRec(p, o.operands[0]);
+        auto b = matchRec(p, o.operands[1]);
+        if (!a || !b)
+            return std::nullopt;
+        return *a + *b;
+      }
+      case OpKind::Sub: {
+        auto a = matchRec(p, o.operands[0]);
+        auto b = matchRec(p, o.operands[1]);
+        if (!a || !b)
+            return std::nullopt;
+        return *a - *b;
+      }
+      case OpKind::Mul: {
+        auto a = matchRec(p, o.operands[0]);
+        auto b = matchRec(p, o.operands[1]);
+        if (!a || !b)
+            return std::nullopt;
+        if (a->isConstant())
+            return b->scaled(a->base);
+        if (b->isConstant())
+            return a->scaled(b->base);
+        return std::nullopt;
+      }
+      default:
+        return std::nullopt;
+    }
+}
+
+} // namespace
+
+std::optional<AffineForm>
+matchAffine(const Program &p, OpId addr)
+{
+    return matchRec(p, addr);
+}
+
+std::optional<std::pair<int64_t, int64_t>>
+affineSpan(const Program &p, const AffineForm &form,
+           const std::vector<CtrlId> &boundLoops)
+{
+    int64_t lo = form.base, hi = form.base;
+    for (const auto &[loop, c] : form.coeffs) {
+        if (c == 0)
+            continue;
+        bool bound = std::find(boundLoops.begin(), boundLoops.end(),
+                               loop) != boundLoops.end();
+        if (!bound)
+            return std::nullopt;
+        const CtrlNode &node = p.ctrl(loop);
+        if (node.kind != CtrlKind::Loop || !node.min.isConst ||
+            !node.max.isConst || !node.step.isConst)
+            return std::nullopt;
+        int64_t first = node.min.cval;
+        int64_t count = (node.max.cval - node.min.cval + node.step.cval -
+                         1) / node.step.cval;
+        if (count <= 0)
+            return std::nullopt;
+        int64_t last = first + (count - 1) * node.step.cval;
+        int64_t a = c * first, b = c * last;
+        lo += std::min(a, b);
+        hi += std::max(a, b);
+    }
+    return std::make_pair(lo, hi);
+}
+
+} // namespace sara::ir

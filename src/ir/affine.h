@@ -1,0 +1,62 @@
+#ifndef SARA_IR_AFFINE_H
+#define SARA_IR_AFFINE_H
+
+/**
+ * @file
+ * Affine address analysis. SARA's memory partitioner and the
+ * credit-relaxation analysis (multibuffering) both depend on
+ * recognizing addresses that are affine functions of the enclosing
+ * loop iterators. This mirrors the address analysis the paper
+ * delegates to the Spatial frontend.
+ */
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "ir/program.h"
+
+namespace sara::ir {
+
+/** addr = sum_i coeff[loop_i] * iter_i + base. */
+struct AffineForm
+{
+    std::map<CtrlId, int64_t> coeffs;
+    int64_t base = 0;
+
+    /** Coefficient for a loop (0 when the address ignores it). */
+    int64_t
+    coeff(CtrlId loop) const
+    {
+        auto it = coeffs.find(loop);
+        return it == coeffs.end() ? 0 : it->second;
+    }
+
+    /** True when the address ignores every loop (pure constant). */
+    bool isConstant() const;
+
+    friend AffineForm operator+(const AffineForm &a, const AffineForm &b);
+    friend AffineForm operator-(const AffineForm &a, const AffineForm &b);
+    AffineForm scaled(int64_t k) const;
+};
+
+/**
+ * Try to express op `addr` as an affine function of loop iterators.
+ * Returns nullopt for non-affine addresses (indirect/gather, products
+ * of iterators, data-dependent terms).
+ */
+std::optional<AffineForm> matchAffine(const Program &p, OpId addr);
+
+/**
+ * Inclusive [min, max] address range of an affine form over full
+ * rounds of the given loops (each with constant bounds); loops absent
+ * from `boundLoops` contribute their coefficient * current iterator,
+ * which makes the range invalid (nullopt) unless the coefficient is 0.
+ */
+std::optional<std::pair<int64_t, int64_t>>
+affineSpan(const Program &p, const AffineForm &form,
+           const std::vector<CtrlId> &boundLoops);
+
+} // namespace sara::ir
+
+#endif // SARA_IR_AFFINE_H

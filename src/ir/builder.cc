@@ -1,0 +1,202 @@
+#include "ir/builder.h"
+
+#include "support/logging.h"
+
+namespace sara::ir {
+
+CtrlId
+Builder::beginScope(CtrlKind kind, const std::string &name)
+{
+    SARA_ASSERT(!block_.valid(),
+                "cannot open a control scope inside a hyperblock");
+    CtrlId id = p_.addCtrl(kind, scopes_.back(), name);
+    scopes_.push_back(id);
+    return id;
+}
+
+void
+Builder::endScope(CtrlKind kind)
+{
+    SARA_ASSERT(!block_.valid(), "close the open hyperblock first");
+    SARA_ASSERT(scopes_.size() > 1, "scope underflow");
+    SARA_ASSERT(p_.ctrl(scopes_.back()).kind == kind,
+                "mismatched scope close");
+    scopes_.pop_back();
+}
+
+CtrlId
+Builder::beginLoop(const std::string &name, int64_t min, int64_t max,
+                   int64_t step, int par)
+{
+    return beginLoopDyn(name, Bound(min), Bound(max), Bound(step), par);
+}
+
+CtrlId
+Builder::beginLoopDyn(const std::string &name, Bound min, Bound max,
+                      Bound step, int par)
+{
+    CtrlId id = beginScope(CtrlKind::Loop, name);
+    auto &node = p_.ctrl(id);
+    node.min = min;
+    node.max = max;
+    node.step = step;
+    node.par = par;
+    return id;
+}
+
+void
+Builder::endLoop()
+{
+    endScope(CtrlKind::Loop);
+}
+
+CtrlId
+Builder::beginBranch(const std::string &name, OpId cond)
+{
+    CtrlId id = beginScope(CtrlKind::Branch, name);
+    p_.ctrl(id).cond = cond;
+    return id;
+}
+
+void
+Builder::elseClause()
+{
+    SARA_ASSERT(!block_.valid(), "close the open hyperblock first");
+    CtrlId id = scopes_.back();
+    auto &node = p_.ctrl(id);
+    SARA_ASSERT(node.kind == CtrlKind::Branch, "elseClause outside branch");
+    SARA_ASSERT(node.elseChildren.empty() && !inElseFor(id),
+                "duplicate elseClause");
+    elseMarks_.push_back({id, node.children.size()});
+}
+
+bool
+Builder::inElseFor(CtrlId branch) const
+{
+    for (const auto &mark : elseMarks_)
+        if (mark.branch == branch)
+            return true;
+    return false;
+}
+
+void
+Builder::endBranch()
+{
+    CtrlId id = scopes_.back();
+    endScope(CtrlKind::Branch);
+    if (!elseMarks_.empty() && elseMarks_.back().branch == id) {
+        auto mark = elseMarks_.back();
+        elseMarks_.pop_back();
+        auto &node = p_.ctrl(id);
+        node.elseChildren.assign(node.children.begin() + mark.split,
+                                 node.children.end());
+        node.children.resize(mark.split);
+    }
+}
+
+CtrlId
+Builder::beginWhile(const std::string &name)
+{
+    return beginScope(CtrlKind::While, name);
+}
+
+void
+Builder::endWhile(OpId cond)
+{
+    CtrlId id = scopes_.back();
+    p_.ctrl(id).cond = cond;
+    endScope(CtrlKind::While);
+}
+
+CtrlId
+Builder::beginBlock(const std::string &name)
+{
+    SARA_ASSERT(!block_.valid(), "hyperblocks cannot nest");
+    block_ = p_.addCtrl(CtrlKind::Block, scopes_.back(), name);
+    return block_;
+}
+
+void
+Builder::endBlock()
+{
+    SARA_ASSERT(block_.valid(), "no open hyperblock");
+    block_ = CtrlId{};
+}
+
+OpId
+Builder::cst(double v)
+{
+    OpId id = p_.addOp(OpKind::Const, block_);
+    p_.op(id).cval = v;
+    return id;
+}
+
+OpId
+Builder::iter(CtrlId loop)
+{
+    OpId id = p_.addOp(OpKind::Iter, block_);
+    p_.op(id).ctrl = loop;
+    return id;
+}
+
+OpId
+Builder::unary(OpKind kind, OpId a)
+{
+    return p_.addOp(kind, block_, {a});
+}
+
+OpId
+Builder::binary(OpKind kind, OpId a, OpId b)
+{
+    return p_.addOp(kind, block_, {a, b});
+}
+
+OpId
+Builder::mac(OpId a, OpId b, OpId c)
+{
+    return p_.addOp(OpKind::Mac, block_, {a, b, c});
+}
+
+OpId
+Builder::select(OpId cond, OpId t, OpId f)
+{
+    return p_.addOp(OpKind::Select, block_, {cond, t, f});
+}
+
+OpId
+Builder::read(TensorId tensor, OpId addr)
+{
+    OpId id = p_.addOp(OpKind::Read, block_, {addr});
+    p_.op(id).tensor = tensor;
+    return id;
+}
+
+OpId
+Builder::write(TensorId tensor, OpId addr, OpId data)
+{
+    OpId id = p_.addOp(OpKind::Write, block_, {addr, data});
+    p_.op(id).tensor = tensor;
+    return id;
+}
+
+OpId
+Builder::reduce(OpKind kind, OpId input, CtrlId loop)
+{
+    SARA_ASSERT(isReduceOp(kind), "reduce called with non-reduce kind");
+    OpId id = p_.addOp(kind, block_, {input});
+    p_.op(id).ctrl = loop;
+    return id;
+}
+
+OpId
+Builder::affine(OpId i, int64_t scale, int64_t base)
+{
+    OpId out = i;
+    if (scale != 1)
+        out = mul(out, cst(static_cast<double>(scale)));
+    if (base != 0)
+        out = add(out, cst(static_cast<double>(base)));
+    return out;
+}
+
+} // namespace sara::ir

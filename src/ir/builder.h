@@ -1,0 +1,110 @@
+#ifndef SARA_IR_BUILDER_H
+#define SARA_IR_BUILDER_H
+
+/**
+ * @file
+ * A fluent construction API for programs. Mirrors the Spatial nested
+ * abstraction: begin/end scopes for loops, branches and do-while, with
+ * ops added to the block currently open.
+ *
+ * Example (2-D elementwise scale):
+ * @code
+ *   Program p;
+ *   Builder b(p);
+ *   auto in = p.addTensor("in", MemSpace::Dram, n);
+ *   auto out = p.addTensor("out", MemSpace::Dram, n);
+ *   auto i = b.beginLoop("i", 0, n, 1, par);
+ *   b.beginBlock("body");
+ *   b.write(out, b.iter(i), b.mul(b.read(in, b.iter(i)), b.cst(2.0)));
+ *   b.endBlock();
+ *   b.endLoop();
+ * @endcode
+ */
+
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace sara::ir {
+
+/** Incremental program builder maintaining the open control scope. */
+class Builder
+{
+  public:
+    explicit Builder(Program &program) : p_(program)
+    {
+        scopes_.push_back(program.root());
+    }
+
+    // --- Control scopes ---
+    /** Open a counted loop (constant bounds). */
+    CtrlId beginLoop(const std::string &name, int64_t min, int64_t max,
+                     int64_t step = 1, int par = 1);
+
+    /** Open a counted loop with data-dependent bounds. */
+    CtrlId beginLoopDyn(const std::string &name, Bound min, Bound max,
+                        Bound step, int par = 1);
+
+    /** Close the innermost open loop. */
+    void endLoop();
+
+    /** Open a branch; ops under it go to the then-clause first. */
+    CtrlId beginBranch(const std::string &name, OpId cond);
+    /** Switch the open branch to its else-clause. */
+    void elseClause();
+    void endBranch();
+
+    /** Open a do-while loop; condition is set by endWhile. */
+    CtrlId beginWhile(const std::string &name);
+    /** Close the do-while, giving the continue condition (computed in
+     *  a block inside the body). */
+    void endWhile(OpId cond);
+
+    /** Open/close a hyperblock leaf. */
+    CtrlId beginBlock(const std::string &name = "");
+    void endBlock();
+
+    // --- Ops (must be inside an open block) ---
+    OpId cst(double v);
+    OpId iter(CtrlId loop);
+    OpId unary(OpKind kind, OpId a);
+    OpId binary(OpKind kind, OpId a, OpId b);
+    OpId add(OpId a, OpId b) { return binary(OpKind::Add, a, b); }
+    OpId sub(OpId a, OpId b) { return binary(OpKind::Sub, a, b); }
+    OpId mul(OpId a, OpId b) { return binary(OpKind::Mul, a, b); }
+    OpId div(OpId a, OpId b) { return binary(OpKind::Div, a, b); }
+    OpId mod(OpId a, OpId b) { return binary(OpKind::Mod, a, b); }
+    OpId mac(OpId a, OpId b, OpId c);
+    OpId select(OpId cond, OpId t, OpId f);
+    OpId read(TensorId tensor, OpId addr);
+    OpId write(TensorId tensor, OpId addr, OpId data);
+    /** Reduction of `input` over rounds of enclosing loop `loop`. */
+    OpId reduce(OpKind kind, OpId input, CtrlId loop);
+
+    /** Affine helper: base + i * scale (constants folded). */
+    OpId affine(OpId i, int64_t scale, int64_t base);
+
+    /** The currently open block (invalid if none). */
+    CtrlId currentBlock() const { return block_; }
+
+  private:
+    CtrlId beginScope(CtrlKind kind, const std::string &name);
+    void endScope(CtrlKind kind);
+    bool inElseFor(CtrlId branch) const;
+
+    struct ElseMark
+    {
+        CtrlId branch;
+        size_t split;
+    };
+
+    Program &p_;
+    std::vector<CtrlId> scopes_;
+    std::vector<ElseMark> elseMarks_;
+    CtrlId block_;
+};
+
+} // namespace sara::ir
+
+#endif // SARA_IR_BUILDER_H

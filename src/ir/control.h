@@ -1,0 +1,88 @@
+#ifndef SARA_IR_CONTROL_H
+#define SARA_IR_CONTROL_H
+
+/**
+ * @file
+ * The control tree: the nested CFG SARA spatially pipelines. Interior
+ * nodes are loops, branches, and do-while loops; leaves are hyperblocks
+ * (straight-line op lists). The root is an implicit sequence.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/id.h"
+
+namespace sara::ir {
+
+/** Control-node kinds. */
+enum class CtrlKind : uint8_t {
+    Seq,    ///< Ordered sequence of children (root, loop bodies, clauses).
+    Loop,   ///< Counted for-loop, bounds static or data-dependent.
+    Branch, ///< Two-clause branch on a data-dependent condition.
+    While,  ///< Do-while: body runs, repeats while condition is true.
+    Block,  ///< Hyperblock leaf holding ops.
+};
+
+/**
+ * A loop bound: either a compile-time constant or a data dependency on
+ * an op value computed in a preceding hyperblock.
+ */
+struct Bound
+{
+    bool isConst = true;
+    int64_t cval = 0;
+    OpId op;
+
+    Bound() = default;
+    Bound(int64_t v) : isConst(true), cval(v) {}
+    static Bound
+    dynamic(OpId o)
+    {
+        Bound b;
+        b.isConst = false;
+        b.op = o;
+        return b;
+    }
+};
+
+/** One node of the control tree. */
+struct CtrlNode
+{
+    CtrlId id;
+    CtrlKind kind = CtrlKind::Seq;
+    CtrlId parent;
+    std::string name;
+
+    /** Children in program order. For Branch: thenChildren/elseChildren. */
+    std::vector<CtrlId> children;
+    std::vector<CtrlId> elseChildren;
+
+    // --- Loop fields ---
+    Bound min{0}, step{1}, max{0};
+    /**
+     * Parallelization factor. On an innermost loop (all leaf-block
+     * children) this vectorizes across SIMD lanes; on an outer loop the
+     * unroll pass spatially clones the body (see compiler/unroll).
+     */
+    int par = 1;
+    /**
+     * SIMD vectorization factor assigned by the unroll pass (par is
+     * consumed; vec is what lowering maps to counter lanes).
+     */
+    int vec = 1;
+
+    // --- Branch / While fields ---
+    OpId cond; ///< Branch: condition; While: continue-while-true value.
+
+    // --- Block fields ---
+    std::vector<OpId> ops; ///< Program-ordered ops of a hyperblock.
+
+    bool isLeaf() const { return kind == CtrlKind::Block; }
+    bool isLoop() const { return kind == CtrlKind::Loop; }
+};
+
+} // namespace sara::ir
+
+#endif // SARA_IR_CONTROL_H

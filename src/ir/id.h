@@ -1,0 +1,54 @@
+#ifndef SARA_IR_ID_H
+#define SARA_IR_ID_H
+
+/**
+ * @file
+ * Strongly typed dense ids for IR entities. Wrapper types prevent
+ * accidentally indexing the op table with a tensor id and vice versa.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace sara::ir {
+
+/** A dense integer id tagged with the entity type it indexes. */
+template <typename Tag>
+struct Id
+{
+    int32_t v = -1;
+
+    Id() = default;
+    explicit Id(int32_t value) : v(value) {}
+    explicit Id(size_t value) : v(static_cast<int32_t>(value)) {}
+
+    bool valid() const { return v >= 0; }
+    size_t index() const { return static_cast<size_t>(v); }
+
+    friend bool operator==(Id a, Id b) { return a.v == b.v; }
+    friend bool operator!=(Id a, Id b) { return a.v != b.v; }
+    friend bool operator<(Id a, Id b) { return a.v < b.v; }
+};
+
+using OpId = Id<struct OpTag>;
+using CtrlId = Id<struct CtrlTag>;
+using TensorId = Id<struct TensorTag>;
+
+} // namespace sara::ir
+
+namespace std {
+
+template <typename Tag>
+struct hash<sara::ir::Id<Tag>>
+{
+    size_t
+    operator()(sara::ir::Id<Tag> id) const noexcept
+    {
+        return std::hash<int32_t>()(id.v);
+    }
+};
+
+} // namespace std
+
+#endif // SARA_IR_ID_H

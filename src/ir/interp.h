@@ -1,0 +1,67 @@
+#ifndef SARA_IR_INTERP_H
+#define SARA_IR_INTERP_H
+
+/**
+ * @file
+ * Sequential reference interpreter. Executes a program exactly in
+ * program order — the semantics CMMC must be consistent with. Used as
+ * the correctness oracle for the spatially pipelined simulation and by
+ * workload self-checks.
+ */
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace sara::ir {
+
+/** Final memory state after sequential execution. */
+struct InterpResult
+{
+    /** Contents per tensor id (both on-chip and DRAM). */
+    std::vector<std::vector<double>> tensors;
+    /** Total hyperblock firings (one per innermost iteration). */
+    uint64_t firings = 0;
+    /** Total op executions (proxy for work). */
+    uint64_t opsExecuted = 0;
+};
+
+/** Scalar evaluation of a single non-memory, non-reduce op kind. */
+double evalScalar(OpKind kind, const double *args);
+
+/** Executes `program` sequentially. */
+class Interpreter
+{
+  public:
+    explicit Interpreter(const Program &program);
+
+    /** Pre-set DRAM tensor contents (defaults to zeros). */
+    void setTensor(TensorId id, std::vector<double> data);
+
+    /** Run to completion and return final memory state. */
+    InterpResult run();
+
+    /** Safety valve for do-while loops (default 1M body rounds). */
+    void setMaxWhileRounds(uint64_t rounds) { maxWhileRounds_ = rounds; }
+
+  private:
+    void execCtrl(CtrlId id);
+    void execBlock(const CtrlNode &block);
+    double value(OpId id) const { return values_[id.index()]; }
+    int64_t boundValue(const Bound &b) const;
+
+    const Program &p_;
+    std::vector<std::vector<double>> tensors_;
+    std::vector<double> values_;
+    std::vector<int64_t> iters_;
+    std::vector<std::vector<OpId>> loopReduces_;
+    uint64_t firings_ = 0;
+    uint64_t opsExecuted_ = 0;
+    uint64_t maxWhileRounds_ = 1000000;
+};
+
+} // namespace sara::ir
+
+#endif // SARA_IR_INTERP_H

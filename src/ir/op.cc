@@ -1,0 +1,110 @@
+#include "ir/op.h"
+
+#include "support/logging.h"
+
+namespace sara::ir {
+
+int
+opArity(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Const:
+      case OpKind::Iter:
+        return 0;
+      case OpKind::Neg:
+      case OpKind::Abs:
+      case OpKind::Exp:
+      case OpKind::Log:
+      case OpKind::Sqrt:
+      case OpKind::Sigmoid:
+      case OpKind::Tanh:
+      case OpKind::Relu:
+      case OpKind::Floor:
+      case OpKind::Not:
+      case OpKind::Read:
+      case OpKind::RedAdd:
+      case OpKind::RedMin:
+      case OpKind::RedMax:
+      case OpKind::RedMul:
+        return 1;
+      case OpKind::Add:
+      case OpKind::Sub:
+      case OpKind::Mul:
+      case OpKind::Div:
+      case OpKind::Min:
+      case OpKind::Max:
+      case OpKind::Mod:
+      case OpKind::And:
+      case OpKind::Or:
+      case OpKind::CmpLt:
+      case OpKind::CmpLe:
+      case OpKind::CmpEq:
+      case OpKind::CmpNe:
+      case OpKind::CmpGt:
+      case OpKind::CmpGe:
+      case OpKind::Write:
+        return 2;
+      case OpKind::Select:
+      case OpKind::Mac:
+        return 3;
+    }
+    panic("unknown op kind ", static_cast<int>(kind));
+}
+
+const char *
+opName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Const: return "const";
+      case OpKind::Iter: return "iter";
+      case OpKind::Neg: return "neg";
+      case OpKind::Abs: return "abs";
+      case OpKind::Exp: return "exp";
+      case OpKind::Log: return "log";
+      case OpKind::Sqrt: return "sqrt";
+      case OpKind::Sigmoid: return "sigmoid";
+      case OpKind::Tanh: return "tanh";
+      case OpKind::Relu: return "relu";
+      case OpKind::Floor: return "floor";
+      case OpKind::Not: return "not";
+      case OpKind::Add: return "add";
+      case OpKind::Sub: return "sub";
+      case OpKind::Mul: return "mul";
+      case OpKind::Div: return "div";
+      case OpKind::Min: return "min";
+      case OpKind::Max: return "max";
+      case OpKind::Mod: return "mod";
+      case OpKind::And: return "and";
+      case OpKind::Or: return "or";
+      case OpKind::CmpLt: return "cmplt";
+      case OpKind::CmpLe: return "cmple";
+      case OpKind::CmpEq: return "cmpeq";
+      case OpKind::CmpNe: return "cmpne";
+      case OpKind::CmpGt: return "cmpgt";
+      case OpKind::CmpGe: return "cmpge";
+      case OpKind::Select: return "select";
+      case OpKind::Mac: return "mac";
+      case OpKind::Read: return "read";
+      case OpKind::Write: return "write";
+      case OpKind::RedAdd: return "redadd";
+      case OpKind::RedMin: return "redmin";
+      case OpKind::RedMax: return "redmax";
+      case OpKind::RedMul: return "redmul";
+    }
+    return "?";
+}
+
+bool
+isMemoryOp(OpKind kind)
+{
+    return kind == OpKind::Read || kind == OpKind::Write;
+}
+
+bool
+isReduceOp(OpKind kind)
+{
+    return kind == OpKind::RedAdd || kind == OpKind::RedMin ||
+           kind == OpKind::RedMax || kind == OpKind::RedMul;
+}
+
+} // namespace sara::ir

@@ -1,0 +1,75 @@
+#ifndef SARA_IR_OP_H
+#define SARA_IR_OP_H
+
+/**
+ * @file
+ * Operations inside a hyperblock. Ops form an SSA-style dataflow:
+ * each op produces one value (doubles model the 32-bit float datapath),
+ * consuming operand op values, loop iterators, or constants.
+ *
+ * Cross-hyperblock operand references are allowed and become data
+ * streams between virtual units during lowering; the rate of such a
+ * stream is derived from the least-common-ancestor of the two blocks
+ * in the control hierarchy (see compiler/lowering).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/id.h"
+
+namespace sara::ir {
+
+/** Operation kinds available in the datapath. */
+enum class OpKind : uint8_t {
+    // Sources
+    Const,     ///< Literal constant (field cval).
+    Iter,      ///< Value of an enclosing loop iterator (field ctrl).
+    // Unary arithmetic
+    Neg, Abs, Exp, Log, Sqrt, Sigmoid, Tanh, Relu, Floor, Not,
+    // Binary arithmetic / logic
+    Add, Sub, Mul, Div, Min, Max, Mod, And, Or,
+    CmpLt, CmpLe, CmpEq, CmpNe, CmpGt, CmpGe,
+    // Ternary
+    Select,    ///< operands: cond, iftrue, iffalse.
+    Mac,       ///< operands: a, b, c -> a * b + c.
+    // Memory
+    Read,      ///< operands: [addr]; field tensor.
+    Write,     ///< operands: [addr, data]; field tensor. Produces no value.
+    // Reductions: accumulate the operand every firing; the accumulator
+    // resets when loop `ctrl` starts a new round and holds the final
+    // value when it completes. Consumers at or above `ctrl`'s level see
+    // one value per round.
+    RedAdd, RedMin, RedMax, RedMul,
+};
+
+/** Number of op-value operands each kind consumes. */
+int opArity(OpKind kind);
+
+/** Human-readable mnemonic. */
+const char *opName(OpKind kind);
+
+/** True for Read/Write. */
+bool isMemoryOp(OpKind kind);
+
+/** True for RedAdd/RedMin/RedMax/RedMul. */
+bool isReduceOp(OpKind kind);
+
+/** A single operation owned by a hyperblock. */
+struct Op
+{
+    OpId id;
+    OpKind kind = OpKind::Const;
+    CtrlId block;                  ///< Owning hyperblock.
+    std::vector<OpId> operands;    ///< Value operands (see opArity).
+    double cval = 0.0;             ///< Const literal.
+    CtrlId ctrl;                   ///< Iter: the loop; Red*: reduce loop.
+    TensorId tensor;               ///< Read/Write target.
+
+    bool producesValue() const { return kind != OpKind::Write; }
+};
+
+} // namespace sara::ir
+
+#endif // SARA_IR_OP_H

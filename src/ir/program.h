@@ -1,0 +1,115 @@
+#ifndef SARA_IR_PROGRAM_H
+#define SARA_IR_PROGRAM_H
+
+/**
+ * @file
+ * Program: the arena owning the control tree, ops, and tensors, plus
+ * the structural queries the compiler relies on (ancestor chains,
+ * least-common-ancestor, program order, subtree cloning).
+ */
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/control.h"
+#include "ir/op.h"
+#include "ir/tensor.h"
+
+namespace sara::ir {
+
+/** A whole input program (one spatially-mapped CFG). */
+class Program
+{
+  public:
+    Program();
+
+    // --- Construction ---
+    TensorId addTensor(const std::string &name, MemSpace space,
+                       int64_t size);
+    CtrlId addCtrl(CtrlKind kind, CtrlId parent, const std::string &name);
+    OpId addOp(OpKind kind, CtrlId block, std::vector<OpId> operands = {});
+
+    // --- Access ---
+    CtrlId root() const { return root_; }
+    CtrlNode &ctrl(CtrlId id) { return ctrls_[id.index()]; }
+    const CtrlNode &ctrl(CtrlId id) const { return ctrls_[id.index()]; }
+    Op &op(OpId id) { return ops_[id.index()]; }
+    const Op &op(OpId id) const { return ops_[id.index()]; }
+    Tensor &tensor(TensorId id) { return tensors_[id.index()]; }
+    const Tensor &tensor(TensorId id) const { return tensors_[id.index()]; }
+
+    size_t numCtrls() const { return ctrls_.size(); }
+    size_t numOps() const { return ops_.size(); }
+    size_t numTensors() const { return tensors_.size(); }
+    const std::deque<Tensor> &tensors() const { return tensors_; }
+
+    // --- Structure queries ---
+    /** Ancestor chain from root (inclusive) down to id (inclusive). */
+    std::vector<CtrlId> ancestry(CtrlId id) const;
+
+    /** Least common ancestor of two control nodes. */
+    CtrlId lca(CtrlId a, CtrlId b) const;
+
+    /**
+     * The child of `ancestor` on the path toward `descendant`;
+     * invalid id if descendant == ancestor.
+     */
+    CtrlId childToward(CtrlId ancestor, CtrlId descendant) const;
+
+    /** True if `anc` is an ancestor of (or equal to) `node`. */
+    bool isAncestor(CtrlId anc, CtrlId node) const;
+
+    /**
+     * Enclosing loop-like ancestors (Loop and While) of a node,
+     * outermost first. These become the counter chain of the VCU a
+     * hyperblock lowers to.
+     */
+    std::vector<CtrlId> enclosingLoops(CtrlId id) const;
+
+    /** All hyperblock leaves in program order. */
+    std::vector<CtrlId> blocksInOrder() const;
+
+    /**
+     * Program-order index of every control node (pre-order walk; a
+     * branch's then-clause precedes its else-clause). Lower index means
+     * earlier in the sequential program.
+     */
+    std::vector<size_t> programOrder() const;
+
+    /** Depth-first visit of the control tree in program order. */
+    void forEachCtrl(const std::function<void(const CtrlNode &)> &fn) const;
+
+    /**
+     * Clone the subtree rooted at `node` under `newParent` (appended to
+     * its children). Op operands and control references *inside* the
+     * subtree are remapped to the clones; references to ops/loops
+     * outside it are preserved. Returns the cloned root and exposes
+     * the op remapping via `opMap` (old index -> new id) when non-null.
+     */
+    CtrlId cloneSubtree(CtrlId node, CtrlId newParent,
+                        std::vector<OpId> *opMap = nullptr);
+
+    /** Structural validation; calls fatal() with a reason on failure. */
+    void verify() const;
+
+    /** Multi-line textual dump for debugging and golden tests. */
+    std::string str() const;
+
+  private:
+    void cloneRec(CtrlId node, CtrlId newParent,
+                  std::vector<OpId> &opMap, std::vector<CtrlId> &ctrlMap);
+    void remapClonedOps(const std::vector<OpId> &opMap,
+                        const std::vector<CtrlId> &ctrlMap);
+
+    std::deque<CtrlNode> ctrls_;
+    std::deque<Op> ops_;
+    std::deque<Tensor> tensors_;
+    CtrlId root_;
+    std::vector<OpId> clonedOps_; ///< Scratch: new ops from cloneRec.
+};
+
+} // namespace sara::ir
+
+#endif // SARA_IR_PROGRAM_H

@@ -1,0 +1,36 @@
+#ifndef SARA_IR_TENSOR_H
+#define SARA_IR_TENSOR_H
+
+/**
+ * @file
+ * Tensors (data structures) named by the program. Spatial expresses
+ * independent data structures as disjoint memories, which is what lets
+ * SARA detect independent accesses without pointer analysis — our IR
+ * keeps the same property: every Read/Write names one tensor.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "ir/id.h"
+
+namespace sara::ir {
+
+/** Address space a tensor lives in. */
+enum class MemSpace : uint8_t {
+    OnChip, ///< Software-managed scratchpad, lowered to VMUs.
+    Dram,   ///< Off-chip memory behind a DRAM interface.
+};
+
+/** A logical 1-D tensor (multi-dim layouts are linearized by builders). */
+struct Tensor
+{
+    TensorId id;
+    std::string name;
+    MemSpace space = MemSpace::OnChip;
+    int64_t size = 0; ///< Element count.
+};
+
+} // namespace sara::ir
+
+#endif // SARA_IR_TENSOR_H

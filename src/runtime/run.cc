@@ -1,0 +1,63 @@
+#include "runtime/run.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "ir/interp.h"
+#include "support/logging.h"
+
+namespace sara::runtime {
+
+RunOutcome
+runWorkload(const workloads::Workload &w, const RunConfig &config)
+{
+    RunOutcome out;
+    out.compiled = compiler::compile(w.program, config.compiler);
+
+    sim::Simulator simulator(out.compiled.program,
+                             out.compiled.lowering.graph, config.dram,
+                             config.sim);
+    for (const auto &[tid, data] : w.dramInputs)
+        simulator.setDramTensor(ir::TensorId(tid), data);
+    out.sim = simulator.run();
+
+    if (config.check) {
+        out.checked = true;
+        ir::Interpreter interp(out.compiled.program);
+        for (const auto &[tid, data] : w.dramInputs)
+            interp.setTensor(ir::TensorId(tid), data);
+        auto ref = interp.run();
+        const auto &prog = out.compiled.program;
+        for (size_t t = 0; t < prog.numTensors(); ++t) {
+            const auto &simT = out.sim.tensors[t];
+            if (simT.empty())
+                continue;
+            const auto &refT = ref.tensors[t];
+            if (simT.size() != refT.size()) {
+                out.correct = false;
+                continue;
+            }
+            for (size_t i = 0; i < simT.size(); ++i)
+                if (std::abs(simT[i] - refT[i]) > 1e-4)
+                    out.correct = false;
+        }
+        if (!out.correct)
+            warn("workload ", w.name,
+                 " produced results differing from the interpreter");
+    }
+    return out;
+}
+
+std::string
+summarize(const workloads::Workload &w, const RunOutcome &r)
+{
+    std::ostringstream os;
+    os << w.name << ": " << r.sim.cycles << " cycles ("
+       << r.timeUs() << " us), " << r.gflops() << " GFLOPS, DRAM "
+       << r.dramGBs() << " GB/s, util "
+       << r.sim.avgComputeUtilization << ", "
+       << r.compiled.resources.str();
+    return os.str();
+}
+
+} // namespace sara::runtime

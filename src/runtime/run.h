@@ -1,0 +1,64 @@
+#ifndef SARA_RUNTIME_RUN_H
+#define SARA_RUNTIME_RUN_H
+
+/**
+ * @file
+ * Compile-and-simulate harness shared by the benchmark binaries and
+ * the examples: runs a workload through the full SARA pipeline and the
+ * cycle-level simulator, optionally validating against the sequential
+ * interpreter, and summarizes the metrics the paper's tables report.
+ */
+
+#include <string>
+
+#include "compiler/driver.h"
+#include "dram/dram.h"
+#include "sim/simulator.h"
+#include "workloads/workload.h"
+
+namespace sara::runtime {
+
+struct RunConfig
+{
+    compiler::CompilerOptions compiler;
+    dram::DramSpec dram = dram::DramSpec::hbm2();
+    /** Validate final memory against the sequential interpreter. */
+    bool check = false;
+    sim::SimOptions sim;
+};
+
+struct RunOutcome
+{
+    compiler::CompileResult compiled;
+    sim::SimResult sim;
+    bool checked = false;
+    bool correct = true;
+
+    /** Runtime at the 1 GHz Plasticine clock. */
+    double timeUs() const
+    {
+        return static_cast<double>(sim.cycles) / 1e3;
+    }
+    double gflops() const
+    {
+        return sim.cycles
+                   ? static_cast<double>(sim.flops) / sim.cycles
+                   : 0.0; // flops/cycle == GFLOPS at 1 GHz.
+    }
+    double
+    dramGBs() const
+    {
+        return sim.dramAchievedBytesPerCycle; // bytes/cycle == GB/s.
+    }
+};
+
+/** Run one workload end to end. fatal()s on compile/sim errors. */
+RunOutcome runWorkload(const workloads::Workload &w,
+                       const RunConfig &config);
+
+/** One-line metric summary for reports. */
+std::string summarize(const workloads::Workload &w, const RunOutcome &r);
+
+} // namespace sara::runtime
+
+#endif // SARA_RUNTIME_RUN_H

@@ -1,0 +1,134 @@
+#ifndef SARA_SIM_FIFO_H
+#define SARA_SIM_FIFO_H
+
+/**
+ * @file
+ * Runtime state of a stream: a latency-modeled, capacity-limited FIFO.
+ * Pushes enter an in-flight queue and are delivered after the stream's
+ * network latency; capacity accounting covers in-flight elements so
+ * back-pressure matches a credit-based hardware flow control.
+ * Token streams carry empty payloads and are effectively unbounded
+ * (credits bound their occupancy by construction).
+ */
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "dfg/vudfg.h"
+#include "sim/task.h"
+#include "support/logging.h"
+
+namespace sara::sim {
+
+/** One data element: the active-lane values of a vectorized firing. */
+using Element = std::vector<double>;
+
+/** Runtime FIFO backing one dfg::Stream. */
+class FifoState
+{
+  public:
+    void
+    init(Scheduler &sched, const dfg::Stream &spec)
+    {
+        sched_ = &sched;
+        spec_ = &spec;
+        isToken_ = spec.kind == dfg::StreamKind::Token;
+        latency_ = static_cast<uint64_t>(spec.latency);
+        // In-flight elements occupy per-hop network registers, not the
+        // destination FIFO: a fully pipelined link sustains one element
+        // per cycle, so the credit window is depth + latency.
+        capacity_ = isToken_
+                        ? UINT64_MAX
+                        : static_cast<uint64_t>(spec.depth) + latency_;
+        dataCv.bind(sched);
+        spaceCv.bind(sched);
+        // Pre-filled credits (CMMC backward edges).
+        for (int i = 0; i < spec.initTokens; ++i)
+            stored_.emplace_back();
+    }
+
+    const dfg::Stream &spec() const { return *spec_; }
+
+    bool empty() const { return stored_.empty(); }
+    size_t occupancy() const { return stored_.size() + inflight_.size(); }
+    bool hasSpace() const { return occupancy() < capacity_; }
+
+    /** Push now; delivered after the stream latency, in order. */
+    void
+    push(Element v)
+    {
+        SARA_ASSERT(hasSpace(), "push to full fifo ", spec_->name);
+        inflight_.push_back(std::move(v));
+        ++pushes_;
+        scheduleDelivery(sched_->now() + latency_);
+    }
+
+    /** Push with an explicit extra delay (DRAM responses). */
+    void
+    pushWithDelay(Element v, uint64_t extraDelay)
+    {
+        SARA_ASSERT(hasSpace(), "push to full fifo ", spec_->name);
+        inflight_.push_back(std::move(v));
+        ++pushes_;
+        scheduleDelivery(sched_->now() + latency_ + extraDelay);
+    }
+
+    const Element &
+    front() const
+    {
+        SARA_ASSERT(!stored_.empty(), "front of empty fifo ", spec_->name);
+        return stored_.front();
+    }
+
+    void
+    pop()
+    {
+        SARA_ASSERT(!stored_.empty(), "pop of empty fifo ", spec_->name);
+        stored_.pop_front();
+        ++pops_;
+        spaceCv.notifyAll();
+    }
+
+    uint64_t pushes() const { return pushes_; }
+    uint64_t pops() const { return pops_; }
+
+    /** Waiters: consumers park on dataCv, producers on spaceCv. */
+    CondVar dataCv, spaceCv;
+
+  private:
+    void
+    scheduleDelivery(uint64_t at)
+    {
+        // Deliveries must stay in push order even when extra delays
+        // differ (in-order response streams).
+        at = std::max(at, lastDeliverAt_);
+        lastDeliverAt_ = at;
+        sched_->scheduleFnAt(
+            [](void *p) { static_cast<FifoState *>(p)->deliverOne(); },
+            this, at);
+    }
+
+    void
+    deliverOne()
+    {
+        SARA_ASSERT(!inflight_.empty(), "delivery with nothing in flight");
+        stored_.push_back(std::move(inflight_.front()));
+        inflight_.pop_front();
+        dataCv.notifyAll();
+    }
+
+    Scheduler *sched_ = nullptr;
+    const dfg::Stream *spec_ = nullptr;
+    std::deque<Element> stored_;
+    std::deque<Element> inflight_;
+    uint64_t capacity_ = 0;
+    uint64_t latency_ = 1;
+    uint64_t lastDeliverAt_ = 0;
+    uint64_t pushes_ = 0, pops_ = 0;
+    bool isToken_ = false;
+};
+
+} // namespace sara::sim
+
+#endif // SARA_SIM_FIFO_H

@@ -1,0 +1,896 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cmath>
+#include <limits>
+
+#include "ir/interp.h"
+
+namespace sara::sim {
+
+using dfg::AccessDir;
+using dfg::InputRole;
+using dfg::StreamKind;
+using dfg::VuKind;
+
+namespace {
+
+double
+reduceIdentity(ir::OpKind kind)
+{
+    switch (kind) {
+      case ir::OpKind::RedAdd: return 0.0;
+      case ir::OpKind::RedMul: return 1.0;
+      case ir::OpKind::RedMin:
+        return std::numeric_limits<double>::infinity();
+      case ir::OpKind::RedMax:
+        return -std::numeric_limits<double>::infinity();
+      default: panic("not a reduce op");
+    }
+}
+
+double
+reduceCombine(ir::OpKind kind, double acc, double v)
+{
+    switch (kind) {
+      case ir::OpKind::RedAdd: return acc + v;
+      case ir::OpKind::RedMul: return acc * v;
+      case ir::OpKind::RedMin: return std::fmin(acc, v);
+      case ir::OpKind::RedMax: return std::fmax(acc, v);
+      default: panic("not a reduce op");
+    }
+}
+
+bool
+isArith(ir::OpKind kind)
+{
+    switch (kind) {
+      case ir::OpKind::Const:
+      case ir::OpKind::Iter:
+        return false;
+      default:
+        return true;
+    }
+}
+
+} // namespace
+
+/** Per-tensor sharded storage group (all VMUs holding one tensor). */
+struct Simulator::MemGroup
+{
+    ir::TensorId tensor;
+    std::vector<dfg::VuId> shards; ///< Ordered by shardIndex.
+    int64_t interleave = 1;
+    int numShards = 1;
+
+    struct ShardState
+    {
+        std::vector<std::vector<double>> buffers; ///< [depth][size]
+        int lastWriteBuf = 0;
+        uint64_t readBusFree = 0;
+        uint64_t writeBusFree = 0;
+    };
+    std::vector<ShardState> state;
+};
+
+/** Runtime state of one executing virtual unit. */
+struct Simulator::Engine
+{
+    const dfg::VUnit *u = nullptr;
+    int n = 0;   ///< Counter chain size.
+    int vec = 1; ///< Innermost SIMD width.
+
+    // Binding index tables per level 0..n (indices into u->inputs /
+    // u->outputs). WhileCond bindings and the MemPort response output
+    // are excluded from the generic tables.
+    std::vector<std::vector<int>> inputsAt;
+    std::vector<std::vector<int>> predsAt;
+    std::vector<std::vector<int>> gatesAt;
+    std::vector<std::vector<int>> outputsAt;
+    std::vector<int> operandBindings; ///< All Operand-role inputs.
+    std::vector<int> whileCondOf;     ///< Per level: binding idx or -1.
+
+    // Runtime counter state.
+    std::vector<int64_t> val, curMin, curStep, curMax;
+    int activeLanes = 1;
+
+    // Datapath lane values and reduction accumulators [lop * vec + lane].
+    std::vector<double> lv;
+    std::vector<double> redAcc;
+
+    // Memory / AG state.
+    int bufPtr = 0;
+    int outstanding = 0;
+    CondVar agCv;
+
+    // Stats and diagnostics.
+    UnitStats stats;
+    uint64_t flops = 0;
+    int arithLops = 0;
+    const char *blockReason = "not started";
+    std::string blockDetail;
+    bool finished = false;
+    std::string error;
+
+    Task task;
+};
+
+Simulator::Simulator(const ir::Program &program, const dfg::Vudfg &graph,
+                     dram::DramSpec dramSpec, SimOptions options)
+    : p_(program), g_(graph), opt_(options), dram_(std::move(dramSpec))
+{
+    buildState();
+}
+
+Simulator::~Simulator() = default;
+
+void
+Simulator::buildState()
+{
+    g_.validate();
+
+    fifos_.resize(g_.numStreams());
+    for (size_t i = 0; i < g_.numStreams(); ++i)
+        fifos_[i].init(sched_, g_.stream(dfg::StreamId(i)));
+
+    // Memory groups.
+    for (const auto &u : g_.units()) {
+        if (u.kind != VuKind::Memory)
+            continue;
+        auto &grp = groups_[u.tensor.v];
+        grp.tensor = u.tensor;
+        grp.interleave = u.shardInterleave;
+        grp.numShards = u.numShards;
+        grp.shards.push_back(u.id);
+    }
+    for (auto &[tid, grp] : groups_) {
+        std::sort(grp.shards.begin(), grp.shards.end(),
+                  [&](dfg::VuId a, dfg::VuId b) {
+                      return g_.unit(a).shardIndex < g_.unit(b).shardIndex;
+                  });
+        SARA_ASSERT(static_cast<int>(grp.shards.size()) == grp.numShards,
+                    "tensor ", tid, " group has ", grp.shards.size(),
+                    " shards, expected ", grp.numShards);
+        grp.state.resize(grp.shards.size());
+        for (size_t s = 0; s < grp.shards.size(); ++s) {
+            const auto &vmu = g_.unit(grp.shards[s]);
+            grp.state[s].buffers.assign(
+                vmu.bufferDepth,
+                std::vector<double>(vmu.bufferSize, 0.0));
+        }
+    }
+
+    // DRAM backing store.
+    dramData_.resize(p_.numTensors());
+    for (size_t t = 0; t < p_.numTensors(); ++t) {
+        const auto &tensor = p_.tensor(ir::TensorId(t));
+        if (tensor.space == ir::MemSpace::Dram)
+            dramData_[t].assign(tensor.size, 0.0);
+    }
+
+    // Engines.
+    engines_.resize(g_.numUnits());
+    for (const auto &u : g_.units()) {
+        if (u.kind == VuKind::Memory)
+            continue;
+        auto e = std::make_unique<Engine>();
+        e->u = &u;
+        e->n = u.chainSize();
+        e->vec = u.vec();
+        e->inputsAt.resize(e->n + 1);
+        e->predsAt.resize(e->n + 1);
+        e->gatesAt.resize(e->n + 1);
+        e->outputsAt.resize(e->n + 1);
+        e->whileCondOf.assign(e->n + 1, -1);
+        for (size_t i = 0; i < u.inputs.size(); ++i) {
+            const auto &in = u.inputs[i];
+            if (in.role == InputRole::WhileCond) {
+                SARA_ASSERT(in.level >= 1, "while cond at level 0");
+                e->whileCondOf[in.level - 1] = static_cast<int>(i);
+                continue;
+            }
+            e->inputsAt[in.level].push_back(static_cast<int>(i));
+            if (in.role == InputRole::Predicate)
+                e->predsAt[in.level].push_back(static_cast<int>(i));
+            if (in.role == InputRole::Gate)
+                e->gatesAt[in.level].push_back(static_cast<int>(i));
+            if (in.role == InputRole::Operand)
+                e->operandBindings.push_back(static_cast<int>(i));
+        }
+        for (size_t i = 0; i < u.outputs.size(); ++i) {
+            if (u.kind != VuKind::Compute &&
+                static_cast<int>(i) == u.respOutput)
+                continue; // Pushed directly by apply.
+            e->outputsAt[u.outputs[i].level].push_back(static_cast<int>(i));
+        }
+        e->val.assign(e->n, 0);
+        e->curMin.assign(e->n, 0);
+        e->curStep.assign(e->n, 1);
+        e->curMax.assign(e->n, 0);
+        e->lv.assign(u.lops.size() * e->vec, 0.0);
+        e->redAcc.assign(u.lops.size() * e->vec, 0.0);
+        for (const auto &lop : u.lops) {
+            if (ir::isReduceOp(lop.kind) || (!lop.isStreamIn() &&
+                                             isArith(lop.kind)))
+                ++e->arithLops;
+        }
+        e->agCv.bind(sched_);
+        engines_[u.id.index()] = std::move(e);
+    }
+}
+
+void
+Simulator::setDramTensor(ir::TensorId id, std::vector<double> data)
+{
+    SARA_ASSERT(p_.tensor(id).space == ir::MemSpace::Dram,
+                "setDramTensor on on-chip tensor ", p_.tensor(id).name);
+    SARA_ASSERT(data.size() == static_cast<size_t>(p_.tensor(id).size),
+                "tensor size mismatch");
+    dramData_[id.index()] = std::move(data);
+}
+
+std::pair<size_t, int64_t>
+Simulator::locate(const MemGroup &grp, int64_t logical) const
+{
+    // Block partitioning: shard s holds [s*interleave, (s+1)*interleave).
+    if (grp.numShards == 1)
+        return {0, logical};
+    int64_t shard = std::min<int64_t>(logical / grp.interleave,
+                                      grp.numShards - 1);
+    return {static_cast<size_t>(shard), logical - shard * grp.interleave};
+}
+
+// ---------------------------------------------------------------------------
+// Engine coroutines
+// ---------------------------------------------------------------------------
+
+Task
+Simulator::awaitNonEmpty(Engine &e, FifoState &f, const char *why)
+{
+    while (f.empty()) {
+        e.blockReason = why;
+        e.blockDetail = f.spec().name;
+        co_await f.dataCv.wait();
+    }
+    e.blockReason = "";
+}
+
+Task
+Simulator::awaitSpace(Engine &e, FifoState &f, const char *why)
+{
+    while (!f.hasSpace()) {
+        e.blockReason = why;
+        e.blockDetail = f.spec().name;
+        co_await f.spaceCv.wait();
+    }
+    e.blockReason = "";
+}
+
+Task
+Simulator::runUnit(Engine &e)
+{
+    try {
+        co_await runLevel(e, 0);
+        e.finished = true;
+    } catch (const std::exception &ex) {
+        e.error = ex.what();
+        e.finished = false;
+    }
+}
+
+Task
+Simulator::runLevel(Engine &e, int k)
+{
+    const auto &u = *e.u;
+
+    // Resolve dynamic bounds before reading predicates: bound streams
+    // are produced unconditionally relative to this loop.
+    if (k < e.n) {
+        const auto &c = u.counters[k];
+        e.curMin[k] = c.min;
+        e.curStep[k] = c.step;
+        e.curMax[k] = c.max;
+        auto resolve = [&](int bindingIdx, int64_t &slot) -> Task {
+            auto &f = fifos_[u.inputs[bindingIdx].stream.index()];
+            co_await awaitNonEmpty(e, f, "loop bound");
+            slot = std::llround(f.front()[0]);
+        };
+        if (c.minInput >= 0)
+            co_await resolve(c.minInput, e.curMin[k]);
+        if (c.stepInput >= 0)
+            co_await resolve(c.stepInput, e.curStep[k]);
+        if (c.maxInput >= 0)
+            co_await resolve(c.maxInput, e.curMax[k]);
+    }
+
+    // Branch predicates conditioning rounds of level k. All are read
+    // (they are produced unconditionally); any mismatch skips the round.
+    bool enabled = true;
+    for (int bi : e.predsAt[k]) {
+        auto &f = fifos_[u.inputs[bi].stream.index()];
+        co_await awaitNonEmpty(e, f, "branch predicate");
+        bool v = f.front()[0] != 0.0;
+        if (v != u.inputs[bi].expectTrue)
+            enabled = false;
+    }
+    if (!enabled) {
+        co_await skipRound(e, k);
+        co_return;
+    }
+
+    // CMMC gate tokens for this level must be present before the round
+    // may proceed (popped at wrap).
+    for (int bi : e.gatesAt[k]) {
+        auto &f = fifos_[u.inputs[bi].stream.index()];
+        co_await awaitNonEmpty(e, f, "CMMC token");
+    }
+
+    if (k == e.n) {
+        co_await fireOnce(e);
+        co_return;
+    }
+
+    // Reduction accumulators over this loop reset at round entry.
+    for (size_t i = 0; i < u.lops.size(); ++i) {
+        const auto &lop = u.lops[i];
+        if (ir::isReduceOp(lop.kind) && lop.counter == k) {
+            for (int l = 0; l < e.vec; ++l)
+                e.redAcc[i * e.vec + l] = reduceIdentity(lop.kind);
+        }
+    }
+
+    const auto &c = u.counters[k];
+    if (c.isWhile) {
+        SARA_ASSERT(e.whileCondOf[k] >= 0,
+                    u.name, ": while counter without condition input");
+        auto &condFifo =
+            fifos_[u.inputs[e.whileCondOf[k]].stream.index()];
+        uint64_t round = 0;
+        while (true) {
+            e.val[k] = static_cast<int64_t>(round);
+            co_await runLevel(e, k + 1);
+            co_await awaitNonEmpty(e, condFifo, "while condition");
+            bool cont = condFifo.front()[0] != 0.0;
+            condFifo.pop();
+            if (++round > opt_.maxWhileRounds)
+                fatal(u.name, ": do-while exceeded ", opt_.maxWhileRounds,
+                      " rounds");
+            if (!cont)
+                break;
+        }
+    } else {
+        int64_t stepMul = (k == e.n - 1) ? c.vec : 1;
+        for (int64_t v = e.curMin[k]; v < e.curMax[k];
+             v += e.curStep[k] * stepMul) {
+            e.val[k] = v;
+            if (k == e.n - 1) {
+                int64_t remaining =
+                    (e.curMax[k] - v + e.curStep[k] - 1) / e.curStep[k];
+                e.activeLanes = static_cast<int>(
+                    std::min<int64_t>(c.vec, remaining));
+            }
+            co_await runLevel(e, k + 1);
+        }
+    }
+
+    co_await wrapActions(e, k);
+}
+
+Task
+Simulator::fireOnce(Engine &e)
+{
+    const auto &u = *e.u;
+
+    // All operand inputs must be readable (front is read per firing
+    // regardless of pop level).
+    for (int bi : e.operandBindings) {
+        auto &f = fifos_[u.inputs[bi].stream.index()];
+        co_await awaitNonEmpty(e, f, "operand");
+    }
+
+    evalLops(e);
+
+    uint64_t extraCycles = 0;
+    if (u.kind == VuKind::MemPort)
+        co_await applyMemPort(e, extraCycles);
+    else if (u.kind == VuKind::Ag)
+        co_await applyAg(e);
+
+    co_await wrapActions(e, e.n);
+
+    if (e.stats.firings == 0)
+        e.stats.firstFire = sched_.now();
+    e.stats.lastFire = sched_.now();
+    ++e.stats.firings;
+    e.stats.busyCycles += 1 + extraCycles;
+    if (!opt_.traceFile.empty())
+        recordFiring(e, sched_.now(), 1 + extraCycles, false);
+    e.flops += static_cast<uint64_t>(e.arithLops) * e.activeLanes;
+    co_await sched_.delay(1 + extraCycles);
+}
+
+Task
+Simulator::skipRound(Engine &e, int k)
+{
+    const auto &u = *e.u;
+    // Wait for this level's gate tokens so forwarding preserves order.
+    for (int bi : e.gatesAt[k]) {
+        auto &f = fifos_[u.inputs[bi].stream.index()];
+        co_await awaitNonEmpty(e, f, "CMMC token (skip)");
+    }
+    co_await wrapActions(e, k);
+    // A read engine skipped at firing granularity still owes its
+    // consumer one response element per firing (the consumer, skipped
+    // under the same predicate, pops and discards it).
+    if (k == e.n && u.respOutput >= 0 && u.dir == AccessDir::Read &&
+        (u.kind == VuKind::MemPort || u.kind == VuKind::Ag)) {
+        auto &f = fifos_[u.outputs[u.respOutput].stream.index()];
+        co_await awaitSpace(e, f, "skip response space");
+        f.push(Element(std::max(1, e.activeLanes), 0.0));
+    }
+    ++e.stats.skips;
+    e.stats.busyCycles += 1;
+    if (!opt_.traceFile.empty())
+        recordFiring(e, sched_.now(), 1, true);
+    co_await sched_.delay(1);
+}
+
+Task
+Simulator::wrapActions(Engine &e, int k)
+{
+    const auto &u = *e.u;
+
+    // A store AG's wrap-level tokens are CMMC acknowledgements: they
+    // must only fire once every issued write has reached DRAM.
+    if (u.kind == VuKind::Ag && u.dir == AccessDir::Write && k < e.n &&
+        !e.outputsAt[k].empty()) {
+        while (e.outstanding > 0) {
+            e.blockReason = "DRAM write drain";
+            e.blockDetail = u.name;
+            co_await e.agCv.wait();
+        }
+        e.blockReason = "";
+    }
+
+    for (int oi : e.outputsAt[k]) {
+        const auto &ob = u.outputs[oi];
+        auto &f = fifos_[ob.stream.index()];
+        co_await awaitSpace(e, f, "output space");
+        if (f.spec().kind == StreamKind::Token) {
+            f.push(Element{});
+        } else if (k == e.n) {
+            f.push(perFiringElement(e, ob));
+        } else {
+            f.push(Element{combinedOutputValue(e, ob)});
+        }
+    }
+
+    for (int bi : e.inputsAt[k]) {
+        auto &f = fifos_[u.inputs[bi].stream.index()];
+        // Zero-trip and skipped rounds reach the wrap without any
+        // firing having awaited round-rate operands; the element is
+        // owed (rates are balanced) but may still be in flight.
+        co_await awaitNonEmpty(e, f, "wrap pop");
+        f.pop();
+    }
+
+    if (u.kind == VuKind::MemPort && u.rotateLevel == k) {
+        const auto &vmu = g_.unit(u.memUnit);
+        e.bufPtr = (e.bufPtr + 1) % vmu.bufferDepth;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Datapath evaluation and memory application
+// ---------------------------------------------------------------------------
+
+void
+Simulator::evalLops(Engine &e)
+{
+    const auto &u = *e.u;
+    const int vec = e.vec;
+    const int lanes = e.activeLanes;
+    double args[3];
+
+    for (size_t i = 0; i < u.lops.size(); ++i) {
+        const auto &lop = u.lops[i];
+        double *out = &e.lv[i * vec];
+        if (lop.isStreamIn()) {
+            const auto &in = u.inputs[lop.input];
+            const auto &elem = fifos_[in.stream.index()].front();
+            if (elem.size() == 1) {
+                for (int l = 0; l < lanes; ++l)
+                    out[l] = elem[0];
+            } else {
+                SARA_ASSERT(elem.size() >= static_cast<size_t>(lanes),
+                            u.name, ": stream element lanes ",
+                            elem.size(), " < active ", lanes);
+                for (int l = 0; l < lanes; ++l)
+                    out[l] = elem[l];
+            }
+            continue;
+        }
+        switch (lop.kind) {
+          case ir::OpKind::Const:
+            for (int l = 0; l < lanes; ++l)
+                out[l] = lop.cval;
+            break;
+          case ir::OpKind::Iter: {
+            int64_t base = e.val[lop.counter];
+            if (lop.counter == e.n - 1 && vec > 1) {
+                int64_t step = e.curStep[lop.counter];
+                for (int l = 0; l < lanes; ++l)
+                    out[l] = static_cast<double>(base + l * step);
+            } else {
+                for (int l = 0; l < lanes; ++l)
+                    out[l] = static_cast<double>(base);
+            }
+            break;
+          }
+          case ir::OpKind::RedAdd:
+          case ir::OpKind::RedMin:
+          case ir::OpKind::RedMax:
+          case ir::OpKind::RedMul: {
+            double *acc = &e.redAcc[i * vec];
+            const double *src = &e.lv[lop.a * vec];
+            for (int l = 0; l < lanes; ++l) {
+                acc[l] = reduceCombine(lop.kind, acc[l], src[l]);
+                out[l] = acc[l];
+            }
+            break;
+          }
+          default:
+            for (int l = 0; l < lanes; ++l) {
+                args[0] = lop.a >= 0 ? e.lv[lop.a * vec + l] : 0.0;
+                args[1] = lop.b >= 0 ? e.lv[lop.b * vec + l] : 0.0;
+                args[2] = lop.c >= 0 ? e.lv[lop.c * vec + l] : 0.0;
+                out[l] = ir::evalScalar(lop.kind, args);
+            }
+            break;
+        }
+    }
+}
+
+double
+Simulator::combinedOutputValue(Engine &e, const dfg::OutputBinding &ob)
+{
+    const auto &u = *e.u;
+    const auto &lop = u.lops[ob.lop];
+    const int vec = e.vec;
+    if (ir::isReduceOp(lop.kind)) {
+        double acc = e.redAcc[ob.lop * vec];
+        for (int l = 1; l < vec; ++l)
+            acc = reduceCombine(lop.kind, acc, e.redAcc[ob.lop * vec + l]);
+        return acc;
+    }
+    int lane = std::max(0, e.activeLanes - 1);
+    return e.lv[ob.lop * vec + lane];
+}
+
+Element
+Simulator::perFiringElement(Engine &e, const dfg::OutputBinding &ob)
+{
+    Element elem(e.activeLanes);
+    for (int l = 0; l < e.activeLanes; ++l)
+        elem[l] = e.lv[ob.lop * e.vec + l];
+    return elem;
+}
+
+Task
+Simulator::applyMemPort(Engine &e, uint64_t &extraCycles)
+{
+    const auto &u = *e.u;
+    auto it = groups_.find(u.tensor.v);
+    SARA_ASSERT(it != groups_.end(), u.name, ": no memory group");
+    MemGroup &grp = it->second;
+    const int lanes = e.activeLanes;
+
+    // Address lanes come from the local datapath or an input stream.
+    int64_t addrs[64];
+    SARA_ASSERT(lanes <= 64, "lane count too large");
+    if (u.addrLop >= 0) {
+        for (int l = 0; l < lanes; ++l)
+            addrs[l] = std::llround(e.lv[u.addrLop * e.vec + l]);
+    } else {
+        const auto &elem =
+            fifos_[u.inputs[u.addrInput].stream.index()].front();
+        for (int l = 0; l < lanes; ++l)
+            addrs[l] = std::llround(elem.size() == 1 ? elem[0] : elem[l]);
+    }
+
+    // Timing: vector accesses with unit stride are conflict-free;
+    // otherwise lanes colliding on a bank (static sharding) or a shard
+    // (dynamic banking) serialize.
+    const auto &pmuBanks = 16; // Matches arch::PmuSpec::banks.
+    bool contiguous = true;
+    for (int l = 1; l < lanes; ++l)
+        if (addrs[l] != addrs[l - 1] + 1)
+            contiguous = false;
+    if (!contiguous && lanes > 1) {
+        int counts[64] = {0};
+        int maxCount = 1;
+        for (int l = 0; l < lanes; ++l) {
+            int bank = static_cast<int>(
+                ((addrs[l] % pmuBanks) + pmuBanks) % pmuBanks);
+            maxCount = std::max(maxCount, ++counts[bank]);
+        }
+        extraCycles = static_cast<uint64_t>(maxCount - 1);
+    }
+
+    // Port-bus contention: a PMU applies one read and one write vector
+    // per cycle (static ports only; dynamic groups pay conflicts).
+    if (!u.dynamicBank) {
+        auto &ss = grp.state[u.shardIndex];
+        uint64_t &busFree = (u.dir == AccessDir::Read) ? ss.readBusFree
+                                                       : ss.writeBusFree;
+        while (busFree > sched_.now()) {
+            e.blockReason = "PMU bus";
+            e.blockDetail = u.name;
+            co_await sched_.delay(busFree - sched_.now());
+        }
+        e.blockReason = "";
+        busFree = sched_.now() + 1 + extraCycles;
+    }
+
+    if (u.dir == AccessDir::Read) {
+        Element out(lanes);
+        for (int l = 0; l < lanes; ++l) {
+            auto [shard, offset] = locate(grp, addrs[l]);
+            if (!u.dynamicBank)
+                SARA_ASSERT(static_cast<int>(shard) == u.shardIndex,
+                            u.name, ": static port touched shard ", shard,
+                            " (expected ", u.shardIndex, ") addr ",
+                            addrs[l]);
+            auto &ss = grp.state[shard];
+            const auto &vmu = g_.unit(grp.shards[shard]);
+            int buf = e.bufPtr % vmu.bufferDepth;
+            SARA_ASSERT(offset >= 0 && offset < vmu.bufferSize,
+                        u.name, ": shard offset OOB ", offset);
+            out[l] = ss.buffers[buf][offset];
+        }
+        SARA_ASSERT(u.respOutput >= 0, u.name, ": read port w/o output");
+        auto &f = fifos_[u.outputs[u.respOutput].stream.index()];
+        co_await awaitSpace(e, f, "read response space");
+        f.push(std::move(out));
+    } else {
+        SARA_ASSERT(u.dataInput >= 0, u.name, ": write port w/o data");
+        const auto &data =
+            fifos_[u.inputs[u.dataInput].stream.index()].front();
+        for (int l = 0; l < lanes; ++l) {
+            auto [shard, offset] = locate(grp, addrs[l]);
+            if (!u.dynamicBank)
+                SARA_ASSERT(static_cast<int>(shard) == u.shardIndex,
+                            u.name, ": static port touched shard ", shard,
+                            " (expected ", u.shardIndex, ") addr ",
+                            addrs[l]);
+            auto &ss = grp.state[shard];
+            const auto &vmu = g_.unit(grp.shards[shard]);
+            int buf = e.bufPtr % vmu.bufferDepth;
+            SARA_ASSERT(offset >= 0 && offset < vmu.bufferSize,
+                        u.name, ": shard offset OOB ", offset);
+            ss.buffers[buf][offset] =
+                data.size() == 1 ? data[0] : data[l];
+            ss.lastWriteBuf = buf;
+        }
+    }
+}
+
+Task
+Simulator::applyAg(Engine &e)
+{
+    const auto &u = *e.u;
+    while (e.outstanding >= opt_.agOutstanding) {
+        e.blockReason = "DRAM outstanding limit";
+        e.blockDetail = u.name;
+        co_await e.agCv.wait();
+    }
+    e.blockReason = "";
+
+    const int lanes = e.activeLanes;
+    int64_t addrs[64];
+    SARA_ASSERT(lanes <= 64, "lane count too large");
+    if (u.addrLop >= 0) {
+        for (int l = 0; l < lanes; ++l)
+            addrs[l] = std::llround(e.lv[u.addrLop * e.vec + l]);
+    } else {
+        const auto &elem =
+            fifos_[u.inputs[u.addrInput].stream.index()].front();
+        for (int l = 0; l < lanes; ++l)
+            addrs[l] = std::llround(elem.size() == 1 ? elem[0] : elem[l]);
+    }
+
+    auto &data = dramData_[u.tensor.index()];
+    const uint64_t tensorBase =
+        static_cast<uint64_t>(u.tensor.index()) << 24; // Distinct regions.
+
+    // Issue coalesced bursts per run of consecutive addresses.
+    uint64_t maxComplete = sched_.now();
+    int runStart = 0;
+    for (int l = 1; l <= lanes; ++l) {
+        if (l == lanes || addrs[l] != addrs[l - 1] + 1) {
+            uint32_t bytes = static_cast<uint32_t>(l - runStart) * 4;
+            auto res = dram_.access(
+                tensorBase + static_cast<uint64_t>(addrs[runStart]) * 4,
+                bytes, sched_.now());
+            maxComplete = std::max(maxComplete, res.completeAt);
+            runStart = l;
+        }
+    }
+
+    if (u.dir == AccessDir::Read) {
+        Element out(lanes);
+        for (int l = 0; l < lanes; ++l) {
+            SARA_ASSERT(addrs[l] >= 0 &&
+                            addrs[l] < static_cast<int64_t>(data.size()),
+                        u.name, ": DRAM read OOB addr ", addrs[l]);
+            out[l] = data[addrs[l]];
+        }
+        SARA_ASSERT(u.respOutput >= 0, u.name, ": load AG w/o output");
+        auto &f = fifos_[u.outputs[u.respOutput].stream.index()];
+        co_await awaitSpace(e, f, "DRAM response space");
+        uint64_t extra = maxComplete > sched_.now()
+                             ? maxComplete - sched_.now()
+                             : 0;
+        f.pushWithDelay(std::move(out), extra);
+    } else {
+        SARA_ASSERT(u.dataInput >= 0, u.name, ": store AG w/o data");
+        const auto &elem =
+            fifos_[u.inputs[u.dataInput].stream.index()].front();
+        for (int l = 0; l < lanes; ++l) {
+            SARA_ASSERT(addrs[l] >= 0 &&
+                            addrs[l] < static_cast<int64_t>(data.size()),
+                        u.name, ": DRAM write OOB addr ", addrs[l]);
+            data[addrs[l]] = elem.size() == 1 ? elem[0] : elem[l];
+        }
+    }
+
+    // Track completion for the outstanding window / write drain.
+    ++e.outstanding;
+    sched_.scheduleFnAt(
+        [](void *arg) {
+            auto *eng = static_cast<Engine *>(arg);
+            --eng->outstanding;
+            eng->agCv.notifyAll();
+        },
+        &e, std::max(maxComplete, sched_.now()));
+}
+
+// ---------------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------------
+
+SimResult
+Simulator::run()
+{
+    for (auto &e : engines_) {
+        if (!e)
+            continue;
+        e->task = runUnit(*e);
+        sched_.scheduleAt(e->task.handle(), 0);
+    }
+
+    uint64_t end = sched_.run(opt_.maxCycles);
+
+    bool allDone = true;
+    for (auto &e : engines_) {
+        if (!e)
+            continue;
+        if (!e->error.empty())
+            panic("engine ", e->u->name, " failed: ", e->error);
+        if (!e->finished)
+            allDone = false;
+    }
+    if (!allDone)
+        reportDeadlock();
+
+    SimResult result;
+    result.cycles = end;
+    result.unitStats.resize(g_.numUnits());
+    uint64_t busySum = 0;
+    int computeUnits = 0;
+    for (auto &e : engines_) {
+        if (!e)
+            continue;
+        result.unitStats[e->u->id.index()] = e->stats;
+        result.totalFirings += e->stats.firings;
+        result.flops += e->flops;
+        if (e->u->kind == VuKind::Compute) {
+            busySum += e->stats.busyCycles;
+            ++computeUnits;
+        }
+    }
+    if (computeUnits > 0 && end > 0)
+        result.avgComputeUtilization =
+            static_cast<double>(busySum) /
+            (static_cast<double>(computeUnits) * end);
+    if (!opt_.traceFile.empty())
+        writeTrace();
+    result.dramBytes = dram_.bytesTransferred();
+    result.dramRequests = dram_.requests();
+    result.dramRowHits = dram_.rowHits();
+    result.dramAchievedBytesPerCycle = dram_.achievedBytesPerCycle(end);
+    collectTensors(result);
+    return result;
+}
+
+void
+Simulator::collectTensors(SimResult &result)
+{
+    result.tensors.resize(p_.numTensors());
+    for (size_t t = 0; t < p_.numTensors(); ++t) {
+        const auto &tensor = p_.tensor(ir::TensorId(t));
+        if (tensor.space == ir::MemSpace::Dram) {
+            result.tensors[t] = dramData_[t];
+            continue;
+        }
+        auto it = groups_.find(static_cast<int32_t>(t));
+        if (it == groups_.end())
+            continue; // Optimized away (e.g. FIFO-lowered).
+        const MemGroup &grp = it->second;
+        std::vector<double> out(tensor.size, 0.0);
+        for (int64_t a = 0; a < tensor.size; ++a) {
+            auto [shard, offset] = locate(grp, a);
+            const auto &ss = grp.state[shard];
+            if (offset < static_cast<int64_t>(
+                             ss.buffers[ss.lastWriteBuf].size()))
+                out[a] = ss.buffers[ss.lastWriteBuf][offset];
+        }
+        result.tensors[t] = std::move(out);
+    }
+}
+
+void
+Simulator::recordFiring(const Engine &e, uint64_t start, uint64_t dur,
+                        bool skip)
+{
+    // Cap the buffer so accidental tracing of a huge run stays sane.
+    if (trace_.size() >= (1u << 22))
+        return;
+    trace_.push_back({e.u->id.v, start, static_cast<uint32_t>(dur),
+                      skip});
+}
+
+void
+Simulator::writeTrace() const
+{
+    std::FILE *f = std::fopen(opt_.traceFile.c_str(), "w");
+    if (!f) {
+        warn("cannot write trace file ", opt_.traceFile);
+        return;
+    }
+    // Chrome trace format: one complete ("X") event per firing; the
+    // unit id doubles as the thread id so each engine gets a lane.
+    std::fputs("[\n", f);
+    bool first = true;
+    for (const auto &ev : trace_) {
+        const auto &u = g_.unit(dfg::VuId(ev.unit));
+        std::fprintf(f,
+                     "%s{\"name\":\"%s%s\",\"ph\":\"X\",\"pid\":0,"
+                     "\"tid\":%d,\"ts\":%llu,\"dur\":%u}",
+                     first ? "" : ",\n", u.name.c_str(),
+                     ev.skip ? " (skip)" : "", ev.unit,
+                     static_cast<unsigned long long>(ev.start), ev.dur);
+        first = false;
+    }
+    std::fputs("\n]\n", f);
+    std::fclose(f);
+    inform("wrote ", trace_.size(), " trace events to ",
+           opt_.traceFile);
+}
+
+void
+Simulator::reportDeadlock()
+{
+    std::string report = "simulation deadlock; blocked engines:";
+    for (const auto &e : engines_) {
+        if (!e || e->finished)
+            continue;
+        report += "\n  " + e->u->name + ": waiting on " +
+                  std::string(e->blockReason) + " [" + e->blockDetail +
+                  "]";
+    }
+    panic(report);
+}
+
+} // namespace sara::sim

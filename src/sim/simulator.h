@@ -1,0 +1,157 @@
+#ifndef SARA_SIM_SIMULATOR_H
+#define SARA_SIM_SIMULATOR_H
+
+/**
+ * @file
+ * Cycle-level, functionally-exact simulator for compiled VUDFGs.
+ *
+ * Every virtual unit executes as a coroutine engine:
+ *   - Counters open "rounds" level by level; a round at level k first
+ *     resolves dynamic bounds, then reads the branch predicates bound
+ *     at that level.
+ *   - If any predicate mismatches, the round is *skipped*: the engine
+ *     waits for its level-k CMMC gate tokens (order preservation),
+ *     pops level-k inputs, re-pushes level-k outputs (tokens are
+ *     forwarded — paper §III-A2b — and data re-sends the most recent
+ *     value, matching sequential "last write" semantics), and consumes
+ *     a single cycle. Deeper streams connect units under the same
+ *     clause, which all skip together.
+ *   - Otherwise the engine iterates the counter; at the innermost
+ *     level each firing evaluates the local dataflow over the SIMD
+ *     lanes, applies memory effects (MemPort/AG), pushes per-firing
+ *     outputs and consumes >= 1 cycle (bank conflicts and port-bus
+ *     contention add cycles).
+ *   - When counter k wraps, level-k outputs push (reductions combine
+ *     across lanes) and level-k inputs pop.
+ *
+ * Deadlocks (CMMC bugs, mis-leveled streams) are detected when the
+ * event queue drains with unfinished engines; the report lists every
+ * blocked engine and what it waits on.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dfg/vudfg.h"
+#include "dram/dram.h"
+#include "ir/program.h"
+#include "sim/fifo.h"
+#include "sim/task.h"
+
+namespace sara::sim {
+
+/** Simulation knobs. */
+struct SimOptions
+{
+    uint64_t maxCycles = 4'000'000'000ULL;
+    /** Cap on do-while rounds (safety valve). */
+    uint64_t maxWhileRounds = 1'000'000;
+    /** Max outstanding DRAM requests per AG. */
+    int agOutstanding = 64;
+    /** When non-empty, write a Chrome-trace (chrome://tracing /
+     *  Perfetto) JSON timeline of every engine firing here. */
+    std::string traceFile;
+};
+
+/** Per-unit activity counters. */
+struct UnitStats
+{
+    uint64_t firings = 0;
+    uint64_t skips = 0;
+    uint64_t busyCycles = 0;
+    uint64_t firstFire = 0; ///< Cycle of the first firing.
+    uint64_t lastFire = 0;  ///< Cycle of the last firing.
+};
+
+/** Simulation outcome and metrics. */
+struct SimResult
+{
+    uint64_t cycles = 0;
+    uint64_t totalFirings = 0;
+    uint64_t flops = 0; ///< Arithmetic lop-lane executions.
+    // DRAM
+    uint64_t dramBytes = 0;
+    uint64_t dramRequests = 0;
+    uint64_t dramRowHits = 0;
+    double dramAchievedBytesPerCycle = 0.0;
+    // Per-unit stats (indexed by VuId).
+    std::vector<UnitStats> unitStats;
+    double avgComputeUtilization = 0.0;
+    /** Final memory contents per tensor id (reconstructed across
+     *  shards; on-chip tensors read from the most recently written
+     *  multibuffer copy). */
+    std::vector<std::vector<double>> tensors;
+};
+
+/** Executes one compiled VUDFG against a DRAM model. */
+class Simulator
+{
+  public:
+    Simulator(const ir::Program &program, const dfg::Vudfg &graph,
+              dram::DramSpec dramSpec, SimOptions options = {});
+    ~Simulator();
+
+    /** Pre-set DRAM tensor contents (defaults to zeros). */
+    void setDramTensor(ir::TensorId id, std::vector<double> data);
+
+    /** Run to completion; panics with a diagnosis on deadlock. */
+    SimResult run();
+
+  private:
+    struct Engine;
+    struct MemGroup;
+
+    // Engine coroutines.
+    Task runUnit(Engine &e);
+    Task runLevel(Engine &e, int k);
+    Task fireOnce(Engine &e);
+    Task wrapActions(Engine &e, int k);
+    Task skipRound(Engine &e, int k);
+    Task awaitNonEmpty(Engine &e, FifoState &f, const char *why);
+    Task awaitSpace(Engine &e, FifoState &f, const char *why);
+
+    // Firing helpers.
+    void evalLops(Engine &e);
+    Task applyMemPort(Engine &e, uint64_t &extraCycles);
+    Task applyAg(Engine &e);
+    double combinedOutputValue(Engine &e, const dfg::OutputBinding &ob);
+    Element perFiringElement(Engine &e, const dfg::OutputBinding &ob);
+
+    // Memory addressing.
+    std::pair<size_t, int64_t> locate(const MemGroup &g,
+                                      int64_t logical) const;
+
+    void buildState();
+    [[noreturn]] void reportDeadlock();
+    void collectTensors(SimResult &result);
+    void recordFiring(const Engine &e, uint64_t start, uint64_t dur,
+                      bool skip);
+    void writeTrace() const;
+
+    const ir::Program &p_;
+    const dfg::Vudfg &g_;
+    SimOptions opt_;
+    Scheduler sched_;
+    dram::DramModel dram_;
+
+    struct TraceEvent
+    {
+        int32_t unit;
+        uint64_t start;
+        uint32_t dur;
+        bool skip;
+    };
+    std::vector<TraceEvent> trace_;
+
+    std::vector<FifoState> fifos_;
+    std::vector<std::unique_ptr<Engine>> engines_;
+    std::unordered_map<int32_t, MemGroup> groups_; ///< tensor id -> group.
+    std::vector<std::vector<double>> dramData_;    ///< tensor id -> data.
+};
+
+} // namespace sara::sim
+
+#endif // SARA_SIM_SIMULATOR_H

@@ -1,0 +1,265 @@
+#ifndef SARA_SIM_TASK_H
+#define SARA_SIM_TASK_H
+
+/**
+ * @file
+ * Minimal coroutine runtime for the discrete-event simulator. Each
+ * virtual unit executes as a Task coroutine; awaiting a condition
+ * parks the coroutine on a wait list, and the scheduler resumes it
+ * when the condition may have changed (spurious wakeups are allowed —
+ * awaiters re-check their predicate in a loop).
+ */
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace sara::sim {
+
+/**
+ * A coroutine task supporting nested co_await of child tasks
+ * (symmetric transfer back to the parent at completion).
+ */
+class Task
+{
+  public:
+    struct promise_type
+    {
+        std::coroutine_handle<> continuation;
+        std::exception_ptr exception;
+
+        Task
+        get_return_object()
+        {
+            return Task(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+        std::suspend_always initial_suspend() noexcept { return {}; }
+
+        struct FinalAwaiter
+        {
+            bool await_ready() noexcept { return false; }
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<promise_type> h) noexcept
+            {
+                auto cont = h.promise().continuation;
+                return cont ? cont : std::noop_coroutine();
+            }
+            void await_resume() noexcept {}
+        };
+        FinalAwaiter final_suspend() noexcept { return {}; }
+        void return_void() {}
+        void
+        unhandled_exception()
+        {
+            exception = std::current_exception();
+        }
+    };
+
+    Task() = default;
+    explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+    Task(Task &&other) noexcept : h_(std::exchange(other.h_, {})) {}
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            h_ = std::exchange(other.h_, {});
+        }
+        return *this;
+    }
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+    ~Task() { destroy(); }
+
+    bool valid() const { return static_cast<bool>(h_); }
+    bool done() const { return !h_ || h_.done(); }
+    std::coroutine_handle<promise_type> handle() const { return h_; }
+
+    /** Rethrow an exception captured inside the coroutine, if any. */
+    void
+    rethrowIfFailed() const
+    {
+        if (h_ && h_.promise().exception)
+            std::rethrow_exception(h_.promise().exception);
+    }
+
+    /** Awaiter used when a parent task co_awaits a child task. */
+    struct ChildAwaiter
+    {
+        std::coroutine_handle<promise_type> child;
+        bool await_ready() const noexcept { return !child || child.done(); }
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<> parent) noexcept
+        {
+            child.promise().continuation = parent;
+            return child;
+        }
+        void
+        await_resume()
+        {
+            if (child.promise().exception)
+                std::rethrow_exception(child.promise().exception);
+        }
+    };
+    ChildAwaiter operator co_await() const { return ChildAwaiter{h_}; }
+
+  private:
+    void
+    destroy()
+    {
+        if (h_) {
+            h_.destroy();
+            h_ = {};
+        }
+    }
+    std::coroutine_handle<promise_type> h_;
+};
+
+/**
+ * Discrete-event scheduler: a time-ordered queue of coroutine
+ * resumptions. Same-cycle events run in insertion order.
+ */
+class Scheduler
+{
+  public:
+    /** Raw callback event: fn(arg) runs at its scheduled time. */
+    using EventFn = void (*)(void *);
+
+    uint64_t now() const { return now_; }
+
+    /** Schedule a callback at absolute time `at`. */
+    void
+    scheduleFnAt(EventFn fn, void *arg, uint64_t at)
+    {
+        SARA_ASSERT(at >= now_, "scheduling into the past");
+        queue_.push(Event{at, seq_++, fn, arg});
+    }
+
+    /** Schedule `h` to resume at absolute time `at`. */
+    void
+    scheduleAt(std::coroutine_handle<> h, uint64_t at)
+    {
+        scheduleFnAt(
+            [](void *p) {
+                std::coroutine_handle<>::from_address(p).resume();
+            },
+            h.address(), at);
+    }
+
+    void
+    scheduleAfter(std::coroutine_handle<> h, uint64_t delay)
+    {
+        scheduleAt(h, now_ + delay);
+    }
+
+    /** Run until no events remain. Returns final time. */
+    uint64_t
+    run(uint64_t maxCycles = UINT64_MAX)
+    {
+        while (!queue_.empty()) {
+            Event e = queue_.top();
+            queue_.pop();
+            SARA_ASSERT(e.at >= now_, "time went backwards");
+            now_ = e.at;
+            if (now_ > maxCycles)
+                fatal("simulation exceeded ", maxCycles,
+                      " cycles; livelock or runaway workload");
+            e.fn(e.arg);
+        }
+        return now_;
+    }
+
+    bool idle() const { return queue_.empty(); }
+
+    /** Awaitable suspending the current task for `cycles`. */
+    auto
+    delay(uint64_t cycles)
+    {
+        struct Awaiter
+        {
+            Scheduler &sched;
+            uint64_t cycles;
+            bool await_ready() const noexcept { return false; }
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                sched.scheduleAfter(h, cycles);
+            }
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{*this, cycles};
+    }
+
+  private:
+    struct Event
+    {
+        uint64_t at;
+        uint64_t seq;
+        EventFn fn;
+        void *arg;
+        bool
+        operator>(const Event &o) const
+        {
+            return at != o.at ? at > o.at : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+    uint64_t now_ = 0;
+    uint64_t seq_ = 0;
+};
+
+/**
+ * A wait list: tasks park here until notified, then re-check their
+ * condition (level-triggered use: `while (!cond) co_await cv.wait()`).
+ */
+class CondVar
+{
+  public:
+    explicit CondVar(Scheduler &sched) : sched_(&sched) {}
+    CondVar() = default;
+
+    void bind(Scheduler &sched) { sched_ = &sched; }
+
+    auto
+    wait()
+    {
+        struct Awaiter
+        {
+            CondVar &cv;
+            bool await_ready() const noexcept { return false; }
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                cv.waiters_.push_back(h);
+            }
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{*this};
+    }
+
+    /** Wake all waiters (they resume at the current time). */
+    void
+    notifyAll()
+    {
+        for (auto h : waiters_)
+            sched_->scheduleAfter(h, 0);
+        waiters_.clear();
+    }
+
+    bool hasWaiters() const { return !waiters_.empty(); }
+
+  private:
+    Scheduler *sched_ = nullptr;
+    std::vector<std::coroutine_handle<>> waiters_;
+};
+
+} // namespace sara::sim
+
+#endif // SARA_SIM_TASK_H

@@ -1,0 +1,67 @@
+#ifndef SARA_SOLVER_MIP_H
+#define SARA_SOLVER_MIP_H
+
+/**
+ * @file
+ * The optimization engine behind SARA's solver-based partitioning and
+ * merging (paper §III-B1d, Table III).
+ *
+ * SUBSTITUTION NOTE (DESIGN.md #1): the paper formulates the node-to-
+ * partition assignment as a MIP and solves it with Gurobi, warm-
+ * started by the traversal algorithm and stopped at a 15% optimality
+ * gap. Gurobi is commercial and unavailable offline, so this module
+ * solves the same assignment model with a large-neighborhood search /
+ * simulated-annealing hybrid over the identical cost function and
+ * constraints (supplied by the caller as a callback). Like the paper's
+ * setup it is warm-started from the traversal solution and trades
+ * compile time for solution quality; Fig. 11 exercises exactly that
+ * trade-off.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace sara::solver {
+
+/** Result of an assignment search. */
+struct Assignment
+{
+    std::vector<int> assign;
+    double cost = 0.0;
+    bool feasible = false;
+    uint64_t iterations = 0;
+};
+
+/**
+ * Cost callback: evaluates an assignment; sets *feasible. Infeasible
+ * assignments should return a large value (they are still explored,
+ * with a penalty schedule, but never reported as best).
+ */
+using CostFn =
+    std::function<double(const std::vector<int> &, bool *feasible)>;
+
+/** Search knobs. */
+struct AnnealOptions
+{
+    uint64_t iterations = 200000;
+    uint64_t seed = 1;
+    double initTemp = 2.0;
+    double minTemp = 1e-3;
+    /** Stop early when within this relative gap of the known lower
+     *  bound (mirrors the paper's 15% Gurobi gap setting). */
+    double targetGap = 0.15;
+    double lowerBound = 0.0; ///< Problem-specific LB (0 = unknown).
+};
+
+/**
+ * Anneal node-to-partition assignments starting from `warm`.
+ * Moves: relocate one node, swap two nodes, merge two partitions.
+ * Partition ids are kept compact.
+ */
+Assignment anneal(int n, const std::vector<int> &warm, const CostFn &cost,
+                  const AnnealOptions &options);
+
+} // namespace sara::solver
+
+#endif // SARA_SOLVER_MIP_H

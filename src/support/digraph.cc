@@ -1,0 +1,200 @@
+#include "support/digraph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/logging.h"
+
+namespace sara {
+
+void
+Digraph::addEdge(size_t src, size_t dst, bool dedup)
+{
+    SARA_ASSERT(src < size() && dst < size(),
+                "edge (", src, ",", dst, ") out of range ", size());
+    if (dedup && hasEdge(src, dst))
+        return;
+    succs_[src].push_back(dst);
+    preds_[dst].push_back(src);
+}
+
+void
+Digraph::removeEdge(size_t src, size_t dst)
+{
+    auto &ss = succs_[src];
+    auto it = std::find(ss.begin(), ss.end(), dst);
+    if (it == ss.end())
+        return;
+    ss.erase(it);
+    auto &ps = preds_[dst];
+    ps.erase(std::find(ps.begin(), ps.end(), src));
+}
+
+bool
+Digraph::hasEdge(size_t src, size_t dst) const
+{
+    const auto &ss = succs_[src];
+    return std::find(ss.begin(), ss.end(), dst) != ss.end();
+}
+
+size_t
+Digraph::numEdges() const
+{
+    size_t total = 0;
+    for (const auto &ss : succs_)
+        total += ss.size();
+    return total;
+}
+
+std::optional<std::vector<size_t>>
+Digraph::topoSort() const
+{
+    std::vector<size_t> indeg(size(), 0);
+    for (size_t n = 0; n < size(); ++n)
+        for (size_t s : succs_[n])
+            ++indeg[s];
+
+    // Min-heap on node id for a deterministic order.
+    std::priority_queue<size_t, std::vector<size_t>, std::greater<>> ready;
+    for (size_t n = 0; n < size(); ++n)
+        if (indeg[n] == 0)
+            ready.push(n);
+
+    std::vector<size_t> order;
+    order.reserve(size());
+    while (!ready.empty()) {
+        size_t n = ready.top();
+        ready.pop();
+        order.push_back(n);
+        for (size_t s : succs_[n])
+            if (--indeg[s] == 0)
+                ready.push(s);
+    }
+    if (order.size() != size())
+        return std::nullopt;
+    return order;
+}
+
+std::vector<bool>
+Digraph::reachableFrom(size_t src) const
+{
+    std::vector<bool> seen(size(), false);
+    std::vector<size_t> stack{src};
+    seen[src] = true;
+    while (!stack.empty()) {
+        size_t n = stack.back();
+        stack.pop_back();
+        for (size_t s : succs_[n]) {
+            if (!seen[s]) {
+                seen[s] = true;
+                stack.push_back(s);
+            }
+        }
+    }
+    return seen;
+}
+
+bool
+Digraph::reachable(size_t src, size_t dst, bool skip_direct) const
+{
+    std::vector<bool> seen(size(), false);
+    std::vector<size_t> stack;
+    for (size_t s : succs_[src]) {
+        if (skip_direct && s == dst)
+            continue;
+        if (!seen[s]) {
+            seen[s] = true;
+            stack.push_back(s);
+        }
+    }
+    while (!stack.empty()) {
+        size_t n = stack.back();
+        stack.pop_back();
+        if (n == dst)
+            return true;
+        for (size_t s : succs_[n]) {
+            if (!seen[s]) {
+                seen[s] = true;
+                stack.push_back(s);
+            }
+        }
+    }
+    return false;
+}
+
+void
+Digraph::transitiveReduction()
+{
+    auto order = topoSort();
+    if (!order)
+        panic("transitiveReduction requires a DAG");
+
+    // For each node u (in reverse topological order) compute the set of
+    // nodes reachable through paths of length >= 2 and drop direct edges
+    // to them.
+    for (size_t u = 0; u < size(); ++u) {
+        // Candidate edges sorted for determinism.
+        std::vector<size_t> outs = succs_[u];
+        std::sort(outs.begin(), outs.end());
+        for (size_t v : outs) {
+            if (reachable(u, v, /*skip_direct=*/true))
+                removeEdge(u, v);
+        }
+    }
+}
+
+std::vector<size_t>
+Digraph::scc() const
+{
+    // Iterative Tarjan.
+    const size_t n = size();
+    std::vector<size_t> comp(n, SIZE_MAX), low(n, 0), disc(n, SIZE_MAX);
+    std::vector<bool> onStack(n, false);
+    std::vector<size_t> stack;
+    size_t timer = 0, ncomp = 0;
+
+    struct Frame { size_t node; size_t child; };
+    for (size_t root = 0; root < n; ++root) {
+        if (disc[root] != SIZE_MAX)
+            continue;
+        std::vector<Frame> frames{{root, 0}};
+        disc[root] = low[root] = timer++;
+        stack.push_back(root);
+        onStack[root] = true;
+        while (!frames.empty()) {
+            auto &[node, child] = frames.back();
+            if (child < succs_[node].size()) {
+                size_t next = succs_[node][child++];
+                if (disc[next] == SIZE_MAX) {
+                    disc[next] = low[next] = timer++;
+                    stack.push_back(next);
+                    onStack[next] = true;
+                    frames.push_back({next, 0});
+                } else if (onStack[next]) {
+                    low[node] = std::min(low[node], disc[next]);
+                }
+            } else {
+                if (low[node] == disc[node]) {
+                    while (true) {
+                        size_t w = stack.back();
+                        stack.pop_back();
+                        onStack[w] = false;
+                        comp[w] = ncomp;
+                        if (w == node)
+                            break;
+                    }
+                    ++ncomp;
+                }
+                size_t done = node;
+                frames.pop_back();
+                if (!frames.empty()) {
+                    size_t parent = frames.back().node;
+                    low[parent] = std::min(low[parent], low[done]);
+                }
+            }
+        }
+    }
+    return comp;
+}
+
+} // namespace sara

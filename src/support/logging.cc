@@ -1,0 +1,40 @@
+#include "support/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace sara {
+
+namespace {
+
+bool g_verbose = false;
+std::mutex g_logMutex;
+
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    g_verbose = verbose;
+}
+
+bool
+verbose()
+{
+    return g_verbose;
+}
+
+namespace detail {
+
+void
+logMessage(const char *level, const std::string &msg)
+{
+    if (!g_verbose && std::string(level) == "info")
+        return;
+    std::lock_guard<std::mutex> lock(g_logMutex);
+    std::fprintf(stderr, "[sara:%s] %s\n", level, msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace sara

@@ -1,0 +1,102 @@
+#ifndef SARA_SUPPORT_LOGGING_H
+#define SARA_SUPPORT_LOGGING_H
+
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a bug in this library), fatal() is for user errors
+ * (bad configuration, malformed input programs). inform()/warn()
+ * report status without stopping execution.
+ */
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sara {
+
+/** Raised by panic(): an internal invariant was violated (library bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Raised by fatal(): the input or configuration is invalid (user error). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+void logMessage(const char *level, const std::string &msg);
+
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report something that should never happen regardless of input. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::string msg = detail::concat(std::forward<Args>(args)...);
+    detail::logMessage("panic", msg);
+    throw PanicError(msg);
+}
+
+/** Report an unrecoverable user/configuration error. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::string msg = detail::concat(std::forward<Args>(args)...);
+    detail::logMessage("fatal", msg);
+    throw FatalError(msg);
+}
+
+/** Informative status message; no connotation of incorrect behaviour. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::logMessage("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Possible-problem message; execution continues. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::logMessage("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Globally enable/disable inform() output (warn/panic/fatal always print). */
+void setVerbose(bool verbose);
+bool verbose();
+
+/** panic() with a condition; message printed only on failure. */
+#define SARA_ASSERT(cond, ...)                                               \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::sara::panic("assertion failed: ", #cond, " | ",                \
+                          ::sara::detail::concat(__VA_ARGS__), " at ",       \
+                          __FILE__, ":", __LINE__);                          \
+        }                                                                    \
+    } while (0)
+
+} // namespace sara
+
+#endif // SARA_SUPPORT_LOGGING_H

@@ -1,0 +1,50 @@
+#ifndef SARA_SUPPORT_RNG_H
+#define SARA_SUPPORT_RNG_H
+
+/**
+ * @file
+ * Deterministic random-number helpers. Every randomized component in the
+ * repository (workload data, property-test program generation, simulated
+ * annealing) takes an explicit seed so runs are reproducible.
+ */
+
+#include <cstdint>
+#include <random>
+
+namespace sara {
+
+/** A seeded convenience wrapper around std::mt19937_64. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 1) : eng_(seed) {}
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    intIn(int64_t lo, int64_t hi)
+    {
+        return std::uniform_int_distribution<int64_t>(lo, hi)(eng_);
+    }
+
+    /** Uniform real in [lo, hi). */
+    double
+    realIn(double lo, double hi)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(eng_);
+    }
+
+    /** Bernoulli draw. */
+    bool chance(double p) { return realIn(0.0, 1.0) < p; }
+
+    /** Pick a uniformly random element index for a container of size n. */
+    size_t index(size_t n) { return static_cast<size_t>(intIn(0, n - 1)); }
+
+    std::mt19937_64 &engine() { return eng_; }
+
+  private:
+    std::mt19937_64 eng_;
+};
+
+} // namespace sara
+
+#endif // SARA_SUPPORT_RNG_H

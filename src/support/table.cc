@@ -1,0 +1,63 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace sara {
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    SARA_ASSERT(row.size() == header_.size(),
+                "row arity ", row.size(), " != header ", header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::str() const
+{
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "| " : " | ");
+            os << row[c];
+            os << std::string(widths[c] - row[c].size(), ' ');
+        }
+        os << " |\n";
+    };
+    emit(header_);
+    for (size_t c = 0; c < header_.size(); ++c) {
+        os << (c == 0 ? "|-" : "-|-");
+        os << std::string(widths[c], '-');
+    }
+    os << "-|\n";
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::fmtX(double v, int precision)
+{
+    return fmt(v, precision) + "x";
+}
+
+} // namespace sara

@@ -1,0 +1,41 @@
+#ifndef SARA_SUPPORT_TABLE_H
+#define SARA_SUPPORT_TABLE_H
+
+/**
+ * @file
+ * ASCII table formatting used by the benchmark harness to print
+ * paper-style tables and figure series.
+ */
+
+#include <string>
+#include <vector>
+
+namespace sara {
+
+/** Column-aligned ASCII table with a header row. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header)
+        : header_(std::move(header)) {}
+
+    /** Add a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with column alignment and a separator under the header. */
+    std::string str() const;
+
+    /** Format a double with the given precision. */
+    static std::string fmt(double v, int precision = 2);
+
+    /** Format with an 'x' suffix, e.g. speedups: "4.90x". */
+    static std::string fmtX(double v, int precision = 2);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace sara
+
+#endif // SARA_SUPPORT_TABLE_H

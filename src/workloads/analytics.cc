@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Analytics workloads used for the vanilla-Plasticine comparison
+ * (paper Table V): kmeans, gda, logreg, sgd. kmeans/gda are heavily
+ * compute-bound; logreg/sgd saturate off-chip bandwidth earlier.
+ */
+
+#include <algorithm>
+
+#include "workloads/common.h"
+
+namespace sara::workloads {
+
+Workload
+buildKmeans(const WorkloadConfig &cfg)
+{
+    Workload w;
+    w.name = "kmeans";
+    w.computeBound = true;
+    Rng rng(cfg.seed);
+
+    const int64_t N = 128 * cfg.scale, D = 8, K = 4;
+    const int iters = 2;
+    ParSplit par = splitPar(cfg.par);
+    const int loadPar = std::max(16, std::min(cfg.par, 32));
+
+    Program &p = w.program;
+    Builder b(p);
+    auto dX = p.addTensor("dX", MemSpace::Dram, N * D);
+    // Transposed staging (x[d*N+n]) for the update phase's n-vectors.
+    auto dXT = p.addTensor("dXT", MemSpace::Dram, N * D);
+    auto dC = p.addTensor("dC", MemSpace::Dram, K * D);
+    auto dOut = p.addTensor("dOut", MemSpace::Dram, K * D);
+
+    auto xb = p.addTensor("xb", MemSpace::OnChip, N * D);
+    auto xtb = p.addTensor("xtb", MemSpace::OnChip, N * D);
+    auto cb = p.addTensor("cb", MemSpace::OnChip, K * D);
+    auto bestb = p.addTensor("bestb", MemSpace::OnChip, N);
+
+    emitLoad(b, dX, xb, N * D, 0, loadPar, "ldx");
+    emitLoad(b, dXT, xtb, N * D, 0, loadPar, "ldxt");
+    emitLoad(b, dC, cb, K * D, 0, loadPar, "ldc");
+
+    for (int it = 0; it < iters; ++it) {
+        std::string tag = "it" + std::to_string(it);
+        auto distb = p.addTensor("dist_" + tag, MemSpace::OnChip, K);
+
+        // Assignment: per point, distance to each centroid, argmin.
+        auto n = b.beginLoop(tag + "_n", 0, N, 1, par.outer);
+        {
+            auto k = b.beginLoop(tag + "_k", 0, K);
+            auto d = b.beginLoop(tag + "_d", 0, D, 1,
+                                 std::min<int>(par.inner, 8));
+            b.beginBlock(tag + "_dist");
+            auto xv = b.read(xb, b.add(b.mul(b.iter(n), b.cst(double(D))),
+                                       b.iter(d)));
+            auto cv = b.read(cb, b.add(b.mul(b.iter(k), b.cst(double(D))),
+                                       b.iter(d)));
+            auto diff = b.sub(xv, cv);
+            auto dist = b.reduce(OpKind::RedAdd, b.mul(diff, diff), d);
+            b.endBlock();
+            b.endLoop();
+            b.beginBlock(tag + "_wd");
+            b.write(distb, b.iter(k), dist);
+            auto minD = b.reduce(OpKind::RedMin, dist, k);
+            b.endBlock();
+            b.endLoop();
+
+            // Second pass over k: argmin by equality match.
+            auto k2 = b.beginLoop(tag + "_k2", 0, K);
+            b.beginBlock(tag + "_arg");
+            auto dv = b.read(distb, b.iter(k2));
+            auto isMin = b.binary(OpKind::CmpEq, dv, minD);
+            auto cand = b.select(isMin, b.iter(k2), b.cst(-1.0));
+            auto bestk = b.reduce(OpKind::RedMax, cand, k2);
+            b.endBlock();
+            b.endLoop();
+            b.beginBlock(tag + "_wb");
+            b.write(bestb, b.iter(n), bestk);
+            b.endBlock();
+        }
+        b.endLoop();
+
+        // Update: new centroid = mean of assigned points.
+        auto k = b.beginLoop(tag + "_uk", 0, K);
+        auto d = b.beginLoop(tag + "_ud", 0, D, 1, par.outer > 1 ? 2 : 1);
+        {
+            auto nn = b.beginLoop(tag + "_un", 0, N, 1, par.inner);
+            b.beginBlock(tag + "_acc");
+            auto bv = b.read(bestb, b.iter(nn));
+            auto mine = b.binary(OpKind::CmpEq, bv, b.iter(k));
+            auto xv = b.read(xtb, b.add(b.mul(b.iter(d),
+                                              b.cst(double(N))),
+                                        b.iter(nn)));
+            auto sum = b.reduce(OpKind::RedAdd,
+                                b.select(mine, xv, b.cst(0.0)), nn);
+            auto cnt = b.reduce(OpKind::RedAdd,
+                                b.select(mine, b.cst(1.0), b.cst(0.0)),
+                                nn);
+            b.endBlock();
+            b.endLoop();
+            b.beginBlock(tag + "_upd");
+            auto denom = b.binary(OpKind::Max, cnt, b.cst(1.0));
+            b.write(cb, b.add(b.mul(b.iter(k), b.cst(double(D))),
+                              b.iter(d)),
+                    b.div(sum, denom));
+            b.endBlock();
+        }
+        b.endLoop();
+        b.endLoop();
+    }
+    emitStore(b, cb, dOut, K * D, 0, loadPar, "stc");
+
+    auto xdata = randomData(rng, N * D, 0.0, 4.0);
+    std::vector<double> xt(N * D);
+    for (int64_t nn = 0; nn < N; ++nn)
+        for (int64_t dd = 0; dd < D; ++dd)
+            xt[dd * N + nn] = xdata[nn * D + dd];
+    w.dramInputs[dX.v] = std::move(xdata);
+    w.dramInputs[dXT.v] = std::move(xt);
+    w.dramInputs[dC.v] = randomData(rng, K * D, 0.0, 4.0);
+    w.nominalFlops = double(iters) * (3.0 * N * K * D + 2.0 * K * D * N);
+    w.elements = static_cast<double>(N);
+    return w;
+}
+
+Workload
+buildGda(const WorkloadConfig &cfg)
+{
+    Workload w;
+    w.name = "gda";
+    w.computeBound = true;
+    Rng rng(cfg.seed);
+
+    const int64_t N = 128 * cfg.scale, D = 12;
+    ParSplit par = splitPar(cfg.par);
+    const int loadPar = std::max(16, std::min(cfg.par, 32));
+
+    Program &p = w.program;
+    Builder b(p);
+    // x is staged feature-major (x[d*N + n]) so the vectorized n-loop
+    // streams bank-conflict-free.
+    auto dX = p.addTensor("dX", MemSpace::Dram, N * D);
+    auto dCov = p.addTensor("dCov", MemSpace::Dram, D * D);
+
+    auto xb = p.addTensor("xb", MemSpace::OnChip, N * D);
+    auto mub = p.addTensor("mub", MemSpace::OnChip, D);
+    auto covb = p.addTensor("covb", MemSpace::OnChip, D * D);
+
+    emitLoad(b, dX, xb, N * D, 0, loadPar, "ldx");
+
+    // Means.
+    auto d0 = b.beginLoop("md", 0, D);
+    {
+        auto n0 = b.beginLoop("mn", 0, N, 1, par.inner);
+        b.beginBlock("msum");
+        auto xv = b.read(xb, b.add(b.mul(b.iter(d0), b.cst(double(N))),
+                                   b.iter(n0)));
+        auto s = b.reduce(OpKind::RedAdd, xv, n0);
+        b.endBlock();
+        b.endLoop();
+        b.beginBlock("mwr");
+        b.write(mub, b.iter(d0), b.div(s, b.cst(double(N))));
+        b.endBlock();
+    }
+    b.endLoop();
+
+    // Covariance: cov[i,j] = sum_n (x[n,i]-mu_i)(x[n,j]-mu_j) / N.
+    auto i = b.beginLoop("ci", 0, D, 1, par.outer);
+    auto j = b.beginLoop("cj", 0, D);
+    {
+        auto n = b.beginLoop("cn", 0, N, 1, par.inner);
+        b.beginBlock("cacc");
+        auto xi = b.read(xb, b.add(b.mul(b.iter(i), b.cst(double(N))),
+                                   b.iter(n)));
+        auto xj = b.read(xb, b.add(b.mul(b.iter(j), b.cst(double(N))),
+                                   b.iter(n)));
+        auto mi = b.read(mub, b.iter(i));
+        auto mj = b.read(mub, b.iter(j));
+        auto s = b.reduce(OpKind::RedAdd,
+                          b.mul(b.sub(xi, mi), b.sub(xj, mj)), n);
+        b.endBlock();
+        b.endLoop();
+        b.beginBlock("cwr");
+        b.write(covb, b.add(b.mul(b.iter(i), b.cst(double(D))),
+                            b.iter(j)),
+                b.div(s, b.cst(double(N))));
+        b.endBlock();
+    }
+    b.endLoop();
+    b.endLoop();
+    emitStore(b, covb, dCov, D * D, 0, loadPar, "stcov");
+
+    w.dramInputs[dX.v] = randomData(rng, N * D, -2.0, 2.0);
+    w.nominalFlops = 3.0 * double(D) * D * N + double(N) * D;
+    w.elements = static_cast<double>(N);
+    return w;
+}
+
+Workload
+buildLogreg(const WorkloadConfig &cfg)
+{
+    Workload w;
+    w.name = "logreg";
+    w.computeBound = false; // Saturates off-chip BW at modest par.
+    Rng rng(cfg.seed);
+
+    const int64_t N = 256 * cfg.scale, D = 16;
+    const int iters = 2;
+    ParSplit par = splitPar(cfg.par);
+    const int loadPar = std::max(16, std::min(cfg.par, 32));
+
+    Program &p = w.program;
+    Builder b(p);
+    auto dX = p.addTensor("dX", MemSpace::Dram, N * D);
+    auto dYl = p.addTensor("dYl", MemSpace::Dram, N);
+    auto dWout = p.addTensor("dWout", MemSpace::Dram, D);
+
+    auto xb = p.addTensor("xb", MemSpace::OnChip, N * D);
+    auto yb = p.addTensor("yb", MemSpace::OnChip, N);
+    auto wb = p.addTensor("wb", MemSpace::OnChip, D);
+    auto errb = p.addTensor("errb", MemSpace::OnChip, N);
+
+    emitLoad(b, dX, xb, N * D, 0, loadPar, "ldx");
+    emitLoad(b, dYl, yb, N, 0, loadPar, "ldy");
+
+    for (int it = 0; it < iters; ++it) {
+        std::string tag = "lr" + std::to_string(it);
+        // Phase 1: residuals.
+        auto n = b.beginLoop(tag + "_n", 0, N, 1, par.outer);
+        {
+            auto d = b.beginLoop(tag + "_d", 0, D, 1, par.inner);
+            b.beginBlock(tag + "_dot");
+            auto xv = b.read(xb, b.add(b.mul(b.iter(n), b.cst(double(D))),
+                                       b.iter(d)));
+            auto wv = b.read(wb, b.iter(d));
+            auto dot = b.reduce(OpKind::RedAdd, b.mul(xv, wv), d);
+            b.endBlock();
+            b.endLoop();
+            b.beginBlock(tag + "_err");
+            auto pred = b.unary(OpKind::Sigmoid, dot);
+            b.write(errb, b.iter(n), b.sub(pred, b.read(yb, b.iter(n))));
+            b.endBlock();
+        }
+        b.endLoop();
+        // Phase 2: gradient + update.
+        auto d2 = b.beginLoop(tag + "_gd", 0, D);
+        {
+            auto n2 = b.beginLoop(tag + "_gn", 0, N, 1, par.inner);
+            b.beginBlock(tag + "_grad");
+            auto ev = b.read(errb, b.iter(n2));
+            auto xv = b.read(xb, b.add(b.mul(b.iter(n2),
+                                             b.cst(double(D))),
+                                       b.iter(d2)));
+            auto g = b.reduce(OpKind::RedAdd, b.mul(ev, xv), n2);
+            b.endBlock();
+            b.endLoop();
+            b.beginBlock(tag + "_upd");
+            auto wOld = b.read(wb, b.iter(d2));
+            b.write(wb, b.iter(d2),
+                    b.sub(wOld, b.mul(g, b.cst(0.01 / N))));
+            b.endBlock();
+        }
+        b.endLoop();
+    }
+    emitStore(b, wb, dWout, D, 0, loadPar, "stw");
+
+    w.dramInputs[dX.v] = randomData(rng, N * D, -1.0, 1.0);
+    w.dramInputs[dYl.v] = randomInts(rng, N, 0, 1);
+    w.nominalFlops = double(iters) * (2.0 * N * D + 2.0 * D * N);
+    w.elements = static_cast<double>(N);
+    return w;
+}
+
+Workload
+buildSgd(const WorkloadConfig &cfg)
+{
+    Workload w;
+    w.name = "sgd";
+    w.computeBound = false;
+    Rng rng(cfg.seed);
+
+    const int64_t batches = 8, batch = 32 * cfg.scale, D = 16;
+    const int64_t N = batches * batch;
+    ParSplit par = splitPar(cfg.par);
+    const int loadPar = std::max(16, std::min(cfg.par, 32));
+
+    Program &p = w.program;
+    Builder b(p);
+    auto dX = p.addTensor("dX", MemSpace::Dram, N * D);
+    auto dYl = p.addTensor("dYl", MemSpace::Dram, N);
+    auto dWout = p.addTensor("dWout", MemSpace::Dram, D);
+
+    auto wb = p.addTensor("wb", MemSpace::OnChip, D);
+    auto xb = p.addTensor("xb", MemSpace::OnChip, batch * D);
+    auto yb = p.addTensor("yb", MemSpace::OnChip, batch);
+    auto errb = p.addTensor("errb", MemSpace::OnChip, batch);
+
+    // Mini-batch loop: w is a loop-carried dependency (limits
+    // pipelining across batches; the paper notes sgd is less
+    // compute-bound).
+    auto bt = b.beginLoop("bt", 0, batches);
+    {
+        // Stream the batch in.
+        auto l = b.beginLoop("ldb", 0, batch * D, 1, 16);
+        b.beginBlock("ldb_b");
+        auto addr = b.add(b.mul(b.iter(bt), b.cst(double(batch * D))),
+                          b.iter(l));
+        b.write(xb, b.iter(l), b.read(dX, addr));
+        b.endBlock();
+        b.endLoop();
+        auto ly = b.beginLoop("ldy", 0, batch, 1, 16);
+        b.beginBlock("ldy_b");
+        auto yaddr = b.add(b.mul(b.iter(bt), b.cst(double(batch))),
+                           b.iter(ly));
+        b.write(yb, b.iter(ly), b.read(dYl, yaddr));
+        b.endBlock();
+        b.endLoop();
+
+        auto n = b.beginLoop("sn", 0, batch, 1, par.outer);
+        {
+            auto d = b.beginLoop("sd", 0, D, 1, par.inner);
+            b.beginBlock("sdot");
+            auto xv = b.read(xb, b.add(b.mul(b.iter(n), b.cst(double(D))),
+                                       b.iter(d)));
+            auto wv = b.read(wb, b.iter(d));
+            auto dot = b.reduce(OpKind::RedAdd, b.mul(xv, wv), d);
+            b.endBlock();
+            b.endLoop();
+            b.beginBlock("serr");
+            auto pred = b.unary(OpKind::Sigmoid, dot);
+            b.write(errb, b.iter(n), b.sub(pred, b.read(yb, b.iter(n))));
+            b.endBlock();
+        }
+        b.endLoop();
+
+        auto d2 = b.beginLoop("gd", 0, D);
+        {
+            auto n2 = b.beginLoop("gn", 0, batch, 1, par.inner);
+            b.beginBlock("sgrad");
+            auto ev = b.read(errb, b.iter(n2));
+            auto xv = b.read(xb, b.add(b.mul(b.iter(n2),
+                                             b.cst(double(D))),
+                                       b.iter(d2)));
+            auto g = b.reduce(OpKind::RedAdd, b.mul(ev, xv), n2);
+            b.endBlock();
+            b.endLoop();
+            b.beginBlock("supd");
+            auto wOld = b.read(wb, b.iter(d2));
+            b.write(wb, b.iter(d2),
+                    b.sub(wOld, b.mul(g, b.cst(0.02 / batch))));
+            b.endBlock();
+        }
+        b.endLoop();
+    }
+    b.endLoop();
+    emitStore(b, wb, dWout, D, 0, loadPar, "stw");
+
+    w.dramInputs[dX.v] = randomData(rng, N * D, -1.0, 1.0);
+    w.dramInputs[dYl.v] = randomInts(rng, N, 0, 1);
+    w.nominalFlops = double(batches) * (4.0 * batch * D);
+    w.elements = static_cast<double>(N);
+    return w;
+}
+
+} // namespace sara::workloads

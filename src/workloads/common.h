@@ -1,0 +1,91 @@
+#ifndef SARA_WORKLOADS_COMMON_H
+#define SARA_WORKLOADS_COMMON_H
+
+/**
+ * @file
+ * Shared helpers for workload builders: par-factor splitting (inner
+ * vectorization first, then outer unrolling — §IV-A), synthetic data
+ * generation, and bulk load/store loop emission.
+ */
+
+#include "ir/builder.h"
+#include "support/rng.h"
+#include "workloads/workload.h"
+
+namespace sara::workloads {
+
+using namespace ir;
+
+/** Split a par factor into (outer unroll, inner vec <= lanes). */
+struct ParSplit
+{
+    int outer = 1;
+    int inner = 1;
+};
+
+inline ParSplit
+splitPar(int par, int lanes = 16)
+{
+    ParSplit s;
+    s.inner = std::min(par, lanes);
+    s.outer = std::max(1, par / s.inner);
+    return s;
+}
+
+/** Uniform random values in [lo, hi). */
+inline std::vector<double>
+randomData(Rng &rng, int64_t n, double lo = 0.0, double hi = 1.0)
+{
+    std::vector<double> v(n);
+    for (int64_t i = 0; i < n; ++i)
+        v[i] = rng.realIn(lo, hi);
+    return v;
+}
+
+/** Random small non-negative integers (exact under fp reassociation). */
+inline std::vector<double>
+randomInts(Rng &rng, int64_t n, int64_t lo, int64_t hi)
+{
+    std::vector<double> v(n);
+    for (int64_t i = 0; i < n; ++i)
+        v[i] = static_cast<double>(rng.intIn(lo, hi));
+    return v;
+}
+
+/**
+ * Emit a bulk DRAM -> on-chip load loop: buf[i] = src[i + offset]
+ * for i in [0, n), vectorized by `vec`.
+ */
+inline void
+emitLoad(Builder &b, TensorId src, TensorId buf, int64_t n,
+         int64_t offset = 0, int par = 16, const std::string &name = "ld")
+{
+    auto l = b.beginLoop(name, 0, n, 1,
+                         static_cast<int>(std::min<int64_t>(par, n)));
+    b.beginBlock(name + "_b");
+    OpId addr = offset ? b.add(b.iter(l), b.cst(double(offset)))
+                       : b.iter(l);
+    b.write(buf, b.iter(l), b.read(src, addr));
+    b.endBlock();
+    b.endLoop();
+}
+
+/** Emit a bulk on-chip -> DRAM store loop. */
+inline void
+emitStore(Builder &b, TensorId buf, TensorId dst, int64_t n,
+          int64_t offset = 0, int par = 16,
+          const std::string &name = "st")
+{
+    auto l = b.beginLoop(name, 0, n, 1,
+                         static_cast<int>(std::min<int64_t>(par, n)));
+    b.beginBlock(name + "_b");
+    OpId addr = offset ? b.add(b.iter(l), b.cst(double(offset)))
+                       : b.iter(l);
+    b.write(dst, addr, b.read(buf, b.iter(l)));
+    b.endBlock();
+    b.endLoop();
+}
+
+} // namespace sara::workloads
+
+#endif // SARA_WORKLOADS_COMMON_H

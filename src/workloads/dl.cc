@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Deep-learning workloads (paper Table IV): single-batch mlp, an LSTM
+ * cell unrolled over time, and snet — a SqueezeNet-style conv layer
+ * lowered im2col + GEMM, the standard RDA mapping.
+ */
+
+#include <algorithm>
+
+#include "workloads/common.h"
+
+namespace sara::workloads {
+
+namespace {
+
+/**
+ * One dense layer: out[o] = act(sum_i w[o*in+i] * x[i] + b[o]).
+ * Weights live on-chip (wbuf), loaded earlier. The o-loop carries the
+ * outer par; the dot product vectorizes.
+ */
+void
+emitDense(Builder &b, TensorId wbuf, TensorId bbuf, TensorId xbuf,
+          TensorId ybuf, int64_t inDim, int64_t outDim, ParSplit par,
+          OpKind act, const std::string &name)
+{
+    auto o = b.beginLoop(name + "_o", 0, outDim, 1, par.outer);
+    auto i = b.beginLoop(name + "_i", 0, inDim, 1, par.inner);
+    b.beginBlock(name + "_mac");
+    auto w = b.read(wbuf, b.add(b.mul(b.iter(o), b.cst(double(inDim))),
+                                b.iter(i)));
+    auto x = b.read(xbuf, b.iter(i));
+    auto sum = b.reduce(OpKind::RedAdd, b.mul(w, x), i);
+    b.endBlock();
+    b.endLoop();
+    b.beginBlock(name + "_act");
+    auto biased = b.add(sum, b.read(bbuf, b.iter(o)));
+    b.write(ybuf, b.iter(o), b.unary(act, biased));
+    b.endBlock();
+    b.endLoop();
+}
+
+} // namespace
+
+Workload
+buildMlp(const WorkloadConfig &cfg)
+{
+    Workload w;
+    w.name = "mlp";
+    w.computeBound = true;
+    Rng rng(cfg.seed);
+
+    // A stream of single-sample inferences over resident weights: the
+    // paper's "single-batch mlp" scalability subject (no trivial
+    // data-level parallelism inside one inference; samples pipeline
+    // through the layers via hierarchical pipelining).
+    const int64_t in = 128;
+    const int64_t h1 = 128;
+    const int64_t h2 = 64;
+    const int64_t out = 32;
+    const int64_t samples = 16 * cfg.scale;
+    ParSplit par = splitPar(cfg.par);
+    const int loadPar = std::max(16, std::min(cfg.par, 32));
+
+    Program &p = w.program;
+    Builder b(p);
+    auto dW1 = p.addTensor("dW1", MemSpace::Dram, in * h1);
+    auto dW2 = p.addTensor("dW2", MemSpace::Dram, h1 * h2);
+    auto dW3 = p.addTensor("dW3", MemSpace::Dram, h2 * out);
+    auto dB = p.addTensor("dB", MemSpace::Dram, h1 + h2 + out);
+    auto dX = p.addTensor("dX", MemSpace::Dram, samples * in);
+    auto dY = p.addTensor("dY", MemSpace::Dram, samples * out);
+
+    auto w1 = p.addTensor("w1", MemSpace::OnChip, in * h1);
+    auto w2 = p.addTensor("w2", MemSpace::OnChip, h1 * h2);
+    auto w3 = p.addTensor("w3", MemSpace::OnChip, h2 * out);
+    auto b1 = p.addTensor("b1", MemSpace::OnChip, h1);
+    auto b2 = p.addTensor("b2", MemSpace::OnChip, h2);
+    auto b3 = p.addTensor("b3", MemSpace::OnChip, out);
+    auto xb = p.addTensor("xb", MemSpace::OnChip, in);
+    auto h1b = p.addTensor("h1b", MemSpace::OnChip, h1);
+    auto h2b = p.addTensor("h2b", MemSpace::OnChip, h2);
+    auto yb = p.addTensor("yb", MemSpace::OnChip, out);
+
+    emitLoad(b, dW1, w1, in * h1, 0, loadPar, "ldw1");
+    emitLoad(b, dW2, w2, h1 * h2, 0, loadPar, "ldw2");
+    emitLoad(b, dW3, w3, h2 * out, 0, loadPar, "ldw3");
+    emitLoad(b, dB, b1, h1, 0, loadPar, "ldb1");
+    emitLoad(b, dB, b2, h2, h1, loadPar, "ldb2");
+    emitLoad(b, dB, b3, out, h1 + h2, loadPar, "ldb3");
+
+    auto sLoop = b.beginLoop("sample", 0, samples);
+    {
+        // Stream this sample's activations in.
+        auto l = b.beginLoop("ldx", 0, in, 1, 16);
+        b.beginBlock("ldx_b");
+        auto addr = b.add(b.mul(b.iter(sLoop), b.cst(double(in))),
+                          b.iter(l));
+        b.write(xb, b.iter(l), b.read(dX, addr));
+        b.endBlock();
+        b.endLoop();
+
+        emitDense(b, w1, b1, xb, h1b, in, h1, par, OpKind::Relu, "l1");
+        emitDense(b, w2, b2, h1b, h2b, h1, h2, par, OpKind::Relu, "l2");
+        emitDense(b, w3, b3, h2b, yb, h2, out,
+                  splitPar(std::min<int>(cfg.par, 32)), OpKind::Tanh,
+                  "l3");
+
+        auto st = b.beginLoop("sty", 0, out, 1, 16);
+        b.beginBlock("sty_b");
+        auto yaddr = b.add(b.mul(b.iter(sLoop), b.cst(double(out))),
+                           b.iter(st));
+        b.write(dY, yaddr, b.read(yb, b.iter(st)));
+        b.endBlock();
+        b.endLoop();
+    }
+    b.endLoop();
+
+    w.dramInputs[dW1.v] = randomData(rng, in * h1, -0.5, 0.5);
+    w.dramInputs[dW2.v] = randomData(rng, h1 * h2, -0.5, 0.5);
+    w.dramInputs[dW3.v] = randomData(rng, h2 * out, -0.5, 0.5);
+    w.dramInputs[dB.v] = randomData(rng, h1 + h2 + out, -0.1, 0.1);
+    w.dramInputs[dX.v] = randomData(rng, samples * in, -1.0, 1.0);
+
+    w.nominalFlops = 2.0 * samples *
+                     (double(in) * h1 + double(h1) * h2 +
+                      double(h2) * out);
+    w.elements = static_cast<double>(samples * out);
+    return w;
+}
+
+Workload
+buildLstm(const WorkloadConfig &cfg)
+{
+    Workload w;
+    w.name = "lstm";
+    w.computeBound = true;
+    Rng rng(cfg.seed);
+
+    const int64_t hidden = 64 * cfg.scale;
+    const int64_t in = 64 * cfg.scale;
+    const int64_t cat = in + hidden;
+    const int64_t steps = 4;
+    ParSplit par = splitPar(cfg.par);
+    const int loadPar = std::max(16, std::min(cfg.par, 32));
+
+    Program &p = w.program;
+    Builder b(p);
+    // Four gate weight matrices, concatenated rows: [i; f; g; o].
+    auto dW = p.addTensor("dW", MemSpace::Dram, 4 * hidden * cat);
+    auto dX = p.addTensor("dX", MemSpace::Dram, steps * in);
+    auto dH = p.addTensor("dH", MemSpace::Dram, hidden);
+
+    auto wb = p.addTensor("wb", MemSpace::OnChip, 4 * hidden * cat);
+    auto xb = p.addTensor("xb", MemSpace::OnChip, steps * in);
+    auto catb = p.addTensor("catb", MemSpace::OnChip, cat);
+    auto hb = p.addTensor("hb", MemSpace::OnChip, hidden);
+    auto cb = p.addTensor("cb", MemSpace::OnChip, hidden);
+
+    emitLoad(b, dW, wb, 4 * hidden * cat, 0, loadPar, "ldw");
+    emitLoad(b, dX, xb, steps * in, 0, loadPar, "ldx");
+
+    auto t = b.beginLoop("t", 0, steps);
+    {
+        // Build [x_t ; h_{t-1}].
+        auto j = b.beginLoop("cat_j", 0, cat, 1, 1);
+        b.beginBlock("cat_b");
+        auto isX = b.binary(OpKind::CmpLt, b.iter(j), b.cst(double(in)));
+        auto xa = b.add(b.mul(b.iter(t), b.cst(double(in))),
+                        b.binary(OpKind::Min, b.iter(j),
+                                 b.cst(double(in - 1))));
+        auto ha = b.binary(OpKind::Max,
+                           b.sub(b.iter(j), b.cst(double(in))),
+                           b.cst(0.0));
+        auto xv = b.read(xb, xa);
+        auto hv = b.read(hb, ha);
+        b.write(catb, b.iter(j), b.select(isX, xv, hv));
+        b.endBlock();
+        b.endLoop();
+
+        // Gates + state update per output element.
+        auto o = b.beginLoop("o", 0, hidden, 1, par.outer);
+        auto jj = b.beginLoop("jj", 0, cat, 1, par.inner);
+        b.beginBlock("gates");
+        auto cv = b.read(catb, b.iter(jj));
+        auto base = b.mul(b.iter(o), b.cst(double(cat)));
+        auto stride = b.cst(double(hidden * cat));
+        auto wi = b.read(wb, b.add(base, b.iter(jj)));
+        auto wf = b.read(wb, b.add(b.add(base, stride), b.iter(jj)));
+        auto wg = b.read(
+            wb, b.add(b.add(base, b.mul(stride, b.cst(2.0))), b.iter(jj)));
+        auto wo = b.read(
+            wb, b.add(b.add(base, b.mul(stride, b.cst(3.0))), b.iter(jj)));
+        auto si = b.reduce(OpKind::RedAdd, b.mul(wi, cv), jj);
+        auto sf = b.reduce(OpKind::RedAdd, b.mul(wf, cv), jj);
+        auto sg = b.reduce(OpKind::RedAdd, b.mul(wg, cv), jj);
+        auto so = b.reduce(OpKind::RedAdd, b.mul(wo, cv), jj);
+        b.endBlock();
+        b.endLoop();
+        b.beginBlock("update");
+        auto ig = b.unary(OpKind::Sigmoid, si);
+        auto fg = b.unary(OpKind::Sigmoid, sf);
+        auto gg = b.unary(OpKind::Tanh, sg);
+        auto og = b.unary(OpKind::Sigmoid, so);
+        auto cOld = b.read(cb, b.iter(o));
+        auto cNew = b.mac(ig, gg, b.mul(fg, cOld));
+        b.write(cb, b.iter(o), cNew);
+        b.write(hb, b.iter(o), b.mul(og, b.unary(OpKind::Tanh, cNew)));
+        b.endBlock();
+        b.endLoop();
+    }
+    b.endLoop();
+    emitStore(b, hb, dH, hidden, 0, loadPar, "sth");
+
+    w.dramInputs[dW.v] = randomData(rng, 4 * hidden * cat, -0.3, 0.3);
+    w.dramInputs[dX.v] = randomData(rng, steps * in, -1.0, 1.0);
+    w.nominalFlops = 2.0 * steps * 4.0 * double(hidden) * cat;
+    w.elements = static_cast<double>(steps * hidden);
+    return w;
+}
+
+Workload
+buildSnet(const WorkloadConfig &cfg)
+{
+    Workload w;
+    w.name = "snet";
+    w.computeBound = true;
+    Rng rng(cfg.seed);
+
+    // One fire-style 3x3 conv stage, im2col + GEMM lowering.
+    const int64_t C = 8, K = 8 * cfg.scale;
+    const int64_t H = 10, W = 10;
+    const int64_t Hp = H + 2, Wp = W + 2; // Padded input.
+    const int64_t patch = C * 9;
+    ParSplit par = splitPar(cfg.par);
+    const int loadPar = std::max(16, std::min(cfg.par, 32));
+
+    Program &p = w.program;
+    Builder b(p);
+    auto dIn = p.addTensor("dIn", MemSpace::Dram, C * Hp * Wp);
+    auto dWt = p.addTensor("dWt", MemSpace::Dram, K * patch);
+    auto dOut = p.addTensor("dOut", MemSpace::Dram, K * H * W);
+
+    auto inb = p.addTensor("inb", MemSpace::OnChip, C * Hp * Wp);
+    auto wtb = p.addTensor("wtb", MemSpace::OnChip, K * patch);
+    auto colb = p.addTensor("colb", MemSpace::OnChip, H * W * patch);
+    auto outb = p.addTensor("outb", MemSpace::OnChip, K * H * W);
+
+    emitLoad(b, dIn, inb, C * Hp * Wp, 0, loadPar, "ldin");
+    emitLoad(b, dWt, wtb, K * patch, 0, loadPar, "ldwt");
+
+    // im2col: colb[(y*W + x)*patch + (c*9 + dy*3 + dx)] =
+    //         inb[c*Hp*Wp + (y+dy)*Wp + (x+dx)]   (all-affine).
+    {
+        auto y = b.beginLoop("cy", 0, H);
+        auto x = b.beginLoop("cx", 0, W);
+        auto c = b.beginLoop("cc", 0, C);
+        auto dy = b.beginLoop("cdy", 0, 3);
+        auto dx = b.beginLoop("cdx", 0, 3, 1, 3);
+        b.beginBlock("col_b");
+        auto src = b.add(
+            b.add(b.mul(b.iter(c), b.cst(double(Hp * Wp))),
+                  b.mul(b.add(b.iter(y), b.iter(dy)),
+                        b.cst(double(Wp)))),
+            b.add(b.iter(x), b.iter(dx)));
+        auto dst = b.add(
+            b.add(b.mul(b.add(b.mul(b.iter(y), b.cst(double(W))),
+                              b.iter(x)),
+                        b.cst(double(patch))),
+                  b.add(b.mul(b.iter(c), b.cst(9.0)),
+                        b.mul(b.iter(dy), b.cst(3.0)))),
+            b.iter(dx));
+        b.write(colb, dst, b.read(inb, src));
+        b.endBlock();
+        b.endLoop();
+        b.endLoop();
+        b.endLoop();
+        b.endLoop();
+        b.endLoop();
+    }
+
+    // GEMM: out[k, p] = relu(sum_q wt[k*patch+q] * col[p*patch+q]).
+    {
+        auto k = b.beginLoop("gk", 0, K, 1, par.outer);
+        auto pp = b.beginLoop("gp", 0, H * W);
+        auto q = b.beginLoop("gq", 0, patch, 1, par.inner);
+        b.beginBlock("gemm");
+        auto wt = b.read(wtb, b.add(b.mul(b.iter(k),
+                                          b.cst(double(patch))),
+                                    b.iter(q)));
+        auto cv = b.read(colb, b.add(b.mul(b.iter(pp),
+                                           b.cst(double(patch))),
+                                     b.iter(q)));
+        auto acc = b.reduce(OpKind::RedAdd, b.mul(wt, cv), q);
+        b.endBlock();
+        b.endLoop();
+        b.beginBlock("relu");
+        auto addr = b.add(b.mul(b.iter(k), b.cst(double(H * W))),
+                          b.iter(pp));
+        b.write(outb, addr, b.unary(OpKind::Relu, acc));
+        b.endBlock();
+        b.endLoop();
+        b.endLoop();
+    }
+    emitStore(b, outb, dOut, K * H * W, 0, loadPar, "stout");
+
+    w.dramInputs[dIn.v] = randomData(rng, C * Hp * Wp, -1.0, 1.0);
+    w.dramInputs[dWt.v] = randomData(rng, K * patch, -0.3, 0.3);
+    w.nominalFlops = 2.0 * double(K) * H * W * patch;
+    w.elements = static_cast<double>(K * H * W);
+    return w;
+}
+
+} // namespace sara::workloads

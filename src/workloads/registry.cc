@@ -1,0 +1,44 @@
+#include "workloads/workload.h"
+
+#include "support/logging.h"
+
+namespace sara::workloads {
+
+Workload
+buildByName(const std::string &name, const WorkloadConfig &cfg)
+{
+    if (name == "mlp")
+        return buildMlp(cfg);
+    if (name == "lstm")
+        return buildLstm(cfg);
+    if (name == "snet")
+        return buildSnet(cfg);
+    if (name == "pr")
+        return buildPr(cfg);
+    if (name == "bs")
+        return buildBs(cfg);
+    if (name == "sort")
+        return buildSort(cfg);
+    if (name == "rf")
+        return buildRf(cfg);
+    if (name == "ms")
+        return buildMs(cfg);
+    if (name == "kmeans")
+        return buildKmeans(cfg);
+    if (name == "gda")
+        return buildGda(cfg);
+    if (name == "logreg")
+        return buildLogreg(cfg);
+    if (name == "sgd")
+        return buildSgd(cfg);
+    fatal("unknown workload '", name, "'");
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    return {"mlp", "lstm", "snet", "pr",     "bs",  "sort",
+            "rf",  "ms",   "kmeans", "gda", "logreg", "sgd"};
+}
+
+} // namespace sara::workloads

@@ -1,0 +1,224 @@
+#ifndef SARA_TESTS_PROGRAM_GEN_H
+#define SARA_TESTS_PROGRAM_GEN_H
+
+/**
+ * @file
+ * Seeded random-program generator shared by the CMMC property test
+ * and the debugging tools.
+ */
+
+#include <map>
+#include <vector>
+
+#include "ir/builder.h"
+#include "support/rng.h"
+
+namespace sara::test {
+
+using namespace ir;
+
+/** Random-program generator. Values stay small integers so floating
+ *  point reassociation in lane-split reductions stays exact. */
+class ProgramGen
+{
+  public:
+    explicit ProgramGen(uint64_t seed) : rng_(seed) {}
+
+    struct Generated
+    {
+        Program program;
+        std::map<int32_t, std::vector<double>> dramInputs;
+    };
+
+    Generated
+    generate()
+    {
+        Generated out;
+        Program &p = out.program;
+        Builder b(p);
+
+        // Tensors.
+        dramIn_ = p.addTensor("din", MemSpace::Dram, 64);
+        std::vector<double> input(64);
+        for (int i = 0; i < 64; ++i)
+            input[i] = static_cast<double>(rng_.intIn(0, 9));
+        out.dramInputs[dramIn_.v] = input;
+        dramOut_ = p.addTensor("dout", MemSpace::Dram, 128);
+        int numOnchip = static_cast<int>(rng_.intIn(1, 3));
+        for (int i = 0; i < numOnchip; ++i)
+            onchip_.push_back(p.addTensor("m" + std::to_string(i),
+                                          MemSpace::OnChip, 64));
+
+        // 2-4 top-level phases.
+        int phases = static_cast<int>(rng_.intIn(2, 4));
+        for (int i = 0; i < phases; ++i)
+            genScope(p, b, /*depth=*/0, /*inBranch=*/false);
+
+        // Final flush so results land in DRAM.
+        auto f = b.beginLoop("flush", 0, 64);
+        b.beginBlock("flush_b");
+        TensorId src = onchip_[rng_.index(onchip_.size())];
+        b.write(dramOut_, b.iter(f), b.read(src, b.iter(f)));
+        b.endBlock();
+        b.endLoop();
+
+        p.verify();
+        return out;
+    }
+
+  private:
+    /** A random value expression over available operands. */
+    OpId
+    genValue(Builder &b, const std::vector<OpId> &operands, int budget)
+    {
+        if (budget <= 0 || operands.empty() || rng_.chance(0.3)) {
+            if (!operands.empty() && rng_.chance(0.7))
+                return operands[rng_.index(operands.size())];
+            return b.cst(static_cast<double>(rng_.intIn(0, 5)));
+        }
+        OpId a = genValue(b, operands, budget - 1);
+        OpId c = genValue(b, operands, budget - 1);
+        switch (rng_.intIn(0, 3)) {
+          case 0: return b.add(a, c);
+          case 1: return b.sub(a, c);
+          case 2: return b.binary(OpKind::Min, a, c);
+          default: return b.binary(OpKind::Max, a, c);
+        }
+    }
+
+    /** In-bounds address: affine (i or i + k) or indirect (mod 64). */
+    OpId
+    genAddr(Builder &b, const std::vector<std::pair<CtrlId, int64_t>> &loops)
+    {
+        if (loops.empty())
+            return b.cst(static_cast<double>(rng_.intIn(0, 63)));
+        auto [loop, trips] = loops[rng_.index(loops.size())];
+        OpId i = b.iter(loop);
+        if (rng_.chance(0.25)) {
+            // Indirect: (3 * i + base) mod 64 — defeats affine
+            // analysis, exercising streamed addresses and request
+            // stratification.
+            OpId expr = b.add(b.mul(i, b.cst(3.0)),
+                              b.cst(static_cast<double>(rng_.intIn(0, 7))));
+            return b.mod(expr, b.cst(64.0));
+        }
+        int64_t maxBase = 64 - trips;
+        if (maxBase <= 0)
+            return i;
+        return b.add(i, b.cst(static_cast<double>(rng_.intIn(0, maxBase))));
+    }
+
+    /** One random hyperblock under the open scope. */
+    void
+    genBlock(Program &p, Builder &b,
+             const std::vector<std::pair<CtrlId, int64_t>> &loops)
+    {
+        b.beginBlock("blk" + std::to_string(blockCount_++));
+        std::vector<OpId> vals;
+        for (auto &[loop, trips] : loops)
+            vals.push_back(b.iter(loop));
+        int reads = static_cast<int>(rng_.intIn(1, 2));
+        for (int i = 0; i < reads; ++i) {
+            TensorId t = rng_.chance(0.3)
+                             ? dramIn_
+                             : onchip_[rng_.index(onchip_.size())];
+            vals.push_back(b.read(t, genAddr(b, loops)));
+        }
+        OpId v = genValue(b, vals, 2);
+        bool innermostVectorized =
+            !loops.empty() && p.ctrl(loops.back().first).par > 1;
+        if (!loops.empty() && !innermostVectorized && rng_.chance(0.25)) {
+            // Reduction over a random enclosing loop, written after
+            // accumulation finishes would need an outer block; keep it
+            // simple: reduce over the innermost loop and use the
+            // running value only in scalar contexts (vec stays 1 in
+            // generated programs' reduction blocks).
+            v = b.reduce(OpKind::RedAdd, v, loops.back().first);
+        }
+        TensorId dst = onchip_[rng_.index(onchip_.size())];
+        b.write(dst, genAddr(b, loops), v);
+        b.endBlock();
+    }
+
+    /** A scope: loop / branch / while / block sequence. */
+    void
+    genScope(Program &p, Builder &b, int depth, bool inBranch,
+             std::vector<std::pair<CtrlId, int64_t>> loops = {})
+    {
+        int choice = static_cast<int>(rng_.intIn(0, 9));
+        if (depth >= 3 || choice < 3) {
+            genBlock(p, b, loops);
+            return;
+        }
+        if (choice < 7) {
+            // Counted loop, sometimes parallelized / dynamic-bounded.
+            int64_t trips = rng_.intIn(2, 8);
+            int par = 1;
+            if (!inBranch && depth <= 1 && rng_.chance(0.3))
+                par = static_cast<int>(rng_.intIn(2, 4));
+            CtrlId loop;
+            if (!inBranch && !loops.empty() && rng_.chance(0.2)) {
+                // Dynamic bound computed in a preceding block.
+                b.beginBlock("bnd" + std::to_string(blockCount_++));
+                OpId lim = b.add(
+                    b.mod(b.iter(loops.back().first), b.cst(3.0)),
+                    b.cst(static_cast<double>(trips - 2)));
+                b.endBlock();
+                loop = b.beginLoopDyn("L" + std::to_string(blockCount_),
+                                      Bound(0), Bound::dynamic(lim),
+                                      Bound(1));
+            } else {
+                loop = b.beginLoop("L" + std::to_string(blockCount_), 0,
+                                   trips, 1, par);
+            }
+            loops.push_back({loop, trips + 2});
+            int body = static_cast<int>(rng_.intIn(1, 2));
+            for (int i = 0; i < body; ++i)
+                genScope(p, b, depth + 1, inBranch, loops);
+            b.endLoop();
+            return;
+        }
+        if (choice < 8 && !loops.empty()) {
+            // Branch on a condition computed at this scope.
+            b.beginBlock("cnd" + std::to_string(blockCount_++));
+            OpId cond = b.binary(
+                OpKind::CmpEq,
+                b.mod(b.iter(loops.back().first), b.cst(2.0)),
+                b.cst(0.0));
+            b.endBlock();
+            b.beginBranch("br" + std::to_string(blockCount_), cond);
+            genScope(p, b, depth + 1, true, loops);
+            if (rng_.chance(0.7)) {
+                b.elseClause();
+                genScope(p, b, depth + 1, true, loops);
+            }
+            b.endBranch();
+            return;
+        }
+        if (!inBranch) {
+            // Bounded do-while: runs (iter < k) rounds.
+            int64_t k = rng_.intIn(1, 4);
+            CtrlId w = b.beginWhile("W" + std::to_string(blockCount_));
+            auto wloops = loops;
+            wloops.push_back({w, k + 1});
+            genScope(p, b, depth + 1, inBranch, wloops);
+            b.beginBlock("wc" + std::to_string(blockCount_++));
+            OpId cont = b.binary(OpKind::CmpLt, b.iter(w),
+                                 b.cst(static_cast<double>(k)));
+            b.endBlock();
+            b.endWhile(cont);
+            return;
+        }
+        genBlock(p, b, loops);
+    }
+
+    Rng rng_;
+    TensorId dramIn_, dramOut_;
+    std::vector<TensorId> onchip_;
+    int blockCount_ = 0;
+};
+
+
+} // namespace sara::test
+
+#endif // SARA_TESTS_PROGRAM_GEN_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Architecture-spec tests: configuration invariants and the silicon
+ * area model backing the paper's "12% of the V100's area" claim.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/area.h"
+#include "arch/plasticine.h"
+
+namespace sara {
+namespace {
+
+using namespace arch;
+
+TEST(Spec, PaperConfiguration)
+{
+    auto spec = PlasticineSpec::paper();
+    EXPECT_EQ(spec.rows * spec.cols, 400);
+    EXPECT_EQ(spec.totalUnits(), 420); // §IV-a: 420 PUs.
+    EXPECT_EQ(spec.numPcus(), 200);
+    EXPECT_EQ(spec.numPmus(), 200);
+    EXPECT_EQ(spec.pcu.lanes, 16);
+    EXPECT_EQ(spec.pcu.stages, 6);
+    EXPECT_DOUBLE_EQ(spec.clockGhz, 1.0);
+}
+
+TEST(Spec, VanillaSmallerThanPaper)
+{
+    auto paper = PlasticineSpec::paper();
+    auto vanilla = PlasticineSpec::vanilla();
+    EXPECT_LT(vanilla.totalUnits(), paper.totalUnits());
+}
+
+TEST(Area, TwelvePercentOfV100)
+{
+    AreaModel model;
+    auto spec = PlasticineSpec::paper();
+    double frac = model.fractionOfV100(spec);
+    // The paper: "1.9x geo-mean ... using only 12% of the silicon
+    // area" and "the V100 is 8.3x larger" (1/8.3 = 12%).
+    EXPECT_GT(frac, 0.08);
+    EXPECT_LT(frac, 0.20);
+    // And at 28 nm the chip lands in a plausible accelerator range.
+    double mm2 = model.chipMm2(spec);
+    EXPECT_GT(mm2, 200.0);
+    EXPECT_LT(mm2, 500.0);
+}
+
+TEST(Area, ScalesWithConfiguration)
+{
+    AreaModel model;
+    EXPECT_LT(model.chipMm2(PlasticineSpec::tiny()),
+              model.chipMm2(PlasticineSpec::vanilla()));
+    EXPECT_LT(model.chipMm2(PlasticineSpec::vanilla()),
+              model.chipMm2(PlasticineSpec::paper()));
+}
+
+} // namespace
+} // namespace sara

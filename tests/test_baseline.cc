@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Baseline tests: the vanilla-PC control scheme (hierarchical FSM)
+ * must preserve program semantics while being slower than CMMC; its
+ * constraint checks must reject programs PC cannot express; and the
+ * GPU roofline model must behave sanely.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/gpu_model.h"
+#include "baseline/pc_workloads.h"
+#include "runtime/run.h"
+#include "tests/helpers.h"
+
+namespace sara {
+namespace {
+
+using compiler::ControlScheme;
+
+class PcCorrectness : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(PcCorrectness, FsmModeMatchesInterpreter)
+{
+    workloads::WorkloadConfig cfg;
+    cfg.par = 16;
+    auto w = baseline::buildPcByName(GetParam(), cfg);
+    compiler::CompilerOptions opt;
+    opt.spec = arch::PlasticineSpec::vanilla();
+    opt.control = ControlScheme::HierarchicalFsm;
+    opt.enableMsr = false;
+    opt.enableRtelm = false;
+    opt.enableControlReduction = false;
+    opt.pnrIterations = 500;
+    test::runAndCompare(w.program, opt, w.dramInputs, 1e-4,
+                        dram::DramSpec::ddr3());
+}
+
+INSTANTIATE_TEST_SUITE_P(PcApps, PcCorrectness,
+                         ::testing::Values("kmeans", "gda", "logreg",
+                                           "sgd"),
+                         [](const auto &info) { return info.param; });
+
+TEST(PcMode, SlowerThanCmmcOnSameProgram)
+{
+    workloads::WorkloadConfig cfg;
+    cfg.par = 16;
+    auto w = baseline::buildPcGda(cfg);
+
+    sara::runtime::RunConfig pcRc;
+    pcRc.compiler.spec = arch::PlasticineSpec::vanilla();
+    pcRc.compiler.control = ControlScheme::HierarchicalFsm;
+    pcRc.compiler.enableMsr = false;
+    pcRc.compiler.enableRtelm = false;
+    pcRc.compiler.enableControlReduction = false;
+    pcRc.dram = dram::DramSpec::ddr3();
+    auto pc = sara::runtime::runWorkload(w, pcRc);
+
+    sara::runtime::RunConfig saraRc;
+    saraRc.compiler.spec = arch::PlasticineSpec::vanilla();
+    saraRc.dram = dram::DramSpec::ddr3();
+    auto sara = sara::runtime::runWorkload(w, saraRc);
+
+    EXPECT_GT(pc.sim.cycles, sara.sim.cycles);
+}
+
+TEST(PcMode, RejectsMultiAccessorTensors)
+{
+    // The regular (non-PC-era) kmeans shares x across readers: PC
+    // supports a single read accessor per VMU and must reject it.
+    workloads::WorkloadConfig cfg;
+    cfg.par = 16;
+    auto w = workloads::buildKmeans(cfg);
+    compiler::CompilerOptions opt;
+    opt.spec = arch::PlasticineSpec::vanilla();
+    opt.control = ControlScheme::HierarchicalFsm;
+    opt.enableMsr = false;
+    opt.enableRtelm = false;
+    EXPECT_THROW(compiler::compile(w.program, opt), FatalError);
+}
+
+TEST(GpuModel, RooflineTransitions)
+{
+    auto spec = baseline::GpuSpec::v100();
+    baseline::KernelProfile prof;
+    prof.computeEfficiency = 0.5;
+    prof.memoryEfficiency = 0.5;
+    prof.kernelLaunches = 0;
+
+    // Compute-heavy: time tracks flops.
+    auto heavy = baseline::estimateGpu(spec, prof, 1e12, 1e6);
+    EXPECT_TRUE(heavy.computeBound);
+    EXPECT_NEAR(heavy.timeUs, 1e12 / (15.7e12 * 0.5) * 1e6, 1.0);
+
+    // Memory-heavy: time tracks bytes.
+    auto mem = baseline::estimateGpu(spec, prof, 1e6, 1e12);
+    EXPECT_FALSE(mem.computeBound);
+    EXPECT_NEAR(mem.timeUs, 1e12 / (900e9 * 0.5) * 1e6, 10.0);
+
+    // Launch overhead floors small kernels.
+    prof.kernelLaunches = 4;
+    auto tiny = baseline::estimateGpu(spec, prof, 1e3, 1e3);
+    EXPECT_GE(tiny.timeUs, 20.0);
+}
+
+TEST(GpuModel, ProfilesExistForTableVI)
+{
+    for (const std::string name :
+         {"snet", "lstm", "pr", "bs", "sort", "rf", "ms"}) {
+        auto prof = baseline::profileFor(name);
+        EXPECT_GT(prof.computeEfficiency, 0.0) << name;
+        EXPECT_LE(prof.computeEfficiency, 1.0) << name;
+        EXPECT_FALSE(prof.note.empty()) << name;
+    }
+}
+
+} // namespace
+} // namespace sara

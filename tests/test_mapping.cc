@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Resource-mapping tests: compute partitioning (constraints, legality,
+ * rewrite correctness), global merging, retiming, the annealing
+ * solver, and placement & routing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/merging.h"
+#include "compiler/partition.h"
+#include "compiler/pnr.h"
+#include "ir/builder.h"
+#include "solver/mip.h"
+#include "support/rng.h"
+#include "tests/helpers.h"
+
+namespace sara {
+namespace {
+
+using namespace compiler;
+
+PartitionProblem
+chainProblem(int n, int maxOps)
+{
+    PartitionProblem prob;
+    prob.n = n;
+    prob.opCost.assign(n, 1);
+    for (int i = 0; i + 1 < n; ++i)
+        prob.edges.push_back({i, i + 1});
+    prob.maxOps = maxOps;
+    return prob;
+}
+
+TEST(Partition, TraversalRespectsOpLimit)
+{
+    auto prob = chainProblem(20, 6);
+    for (auto algo : {PartitionAlgo::BfsFwd, PartitionAlgo::BfsBwd,
+                      PartitionAlgo::DfsFwd, PartitionAlgo::DfsBwd}) {
+        auto sol = partitionTraversal(prob, algo);
+        EXPECT_TRUE(sol.feasible) << partitionAlgoName(algo);
+        EXPECT_GE(sol.numPartitions, 4);
+        bool ok = false;
+        partitionCost(prob, sol.assign, &ok);
+        EXPECT_TRUE(ok);
+    }
+}
+
+TEST(Partition, CostDetectsViolations)
+{
+    auto prob = chainProblem(8, 4);
+    std::vector<int> tooBig(8, 0); // All in one partition: 8 ops > 4.
+    bool ok = true;
+    partitionCost(prob, tooBig, &ok);
+    EXPECT_FALSE(ok);
+
+    // Cross-partition cycle: 0->1 in p0->p1 and an edge back.
+    PartitionProblem cyc;
+    cyc.n = 4;
+    cyc.opCost.assign(4, 1);
+    cyc.edges = {{0, 1}, {1, 2}, {2, 3}};
+    std::vector<int> cycAssign = {0, 1, 0, 1};
+    // p0 -> p1 (0->1), p1 -> p0 (1->2): cycle.
+    ok = true;
+    partitionCost(cyc, cycAssign, &ok);
+    EXPECT_FALSE(ok);
+}
+
+TEST(Partition, DiamondRetimingCost)
+{
+    // A skewed diamond: a long chain and a direct edge reconverging.
+    PartitionProblem prob;
+    prob.n = 6;
+    prob.opCost.assign(6, 1);
+    prob.maxOps = 1; // One node per partition.
+    prob.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 5}, {4, 5}};
+    std::vector<int> assign = {0, 1, 2, 3, 4, 5};
+    bool ok = false;
+    double cost = partitionCost(prob, assign, &ok);
+    EXPECT_TRUE(ok);
+    // 6 partitions + alpha * (gap of edge 0->5 = depth 5 - 1 = 4).
+    EXPECT_NEAR(cost, 6 + prob.alpha * 4, 1e-9);
+}
+
+TEST(Partition, SolverNotWorseThanWarmStart)
+{
+    Rng rng(3);
+    PartitionProblem prob;
+    prob.n = 24;
+    prob.opCost.assign(prob.n, 1);
+    for (int i = 1; i < prob.n; ++i) {
+        prob.edges.push_back({static_cast<int>(rng.index(i)), i});
+        if (rng.chance(0.4))
+            prob.edges.push_back({static_cast<int>(rng.index(i)), i});
+    }
+    auto warm = partitionTraversal(prob, PartitionAlgo::DfsFwd);
+    solver::AnnealOptions ao;
+    ao.iterations = 20000;
+    ao.seed = 5;
+    auto res = solver::anneal(
+        prob.n, warm.assign,
+        [&](const std::vector<int> &a, bool *f) {
+            return partitionCost(prob, a, f);
+        },
+        ao);
+    ASSERT_TRUE(res.feasible);
+    EXPECT_LE(res.cost, warm.cost + 1e-9);
+}
+
+TEST(Partition, OversizedBlockIsSplitAndStaysCorrect)
+{
+    // A 24-op arithmetic chain in one hyperblock: must be partitioned
+    // into >= 4 PCUs, and the program must still compute correctly.
+    using namespace ir;
+    Program p;
+    Builder b(p);
+    auto in = p.addTensor("in", MemSpace::Dram, 64);
+    auto out = p.addTensor("out", MemSpace::Dram, 64);
+    auto l = b.beginLoop("i", 0, 64, 1, 16);
+    b.beginBlock("deep");
+    OpId v = b.read(in, b.iter(l));
+    for (int k = 0; k < 24; ++k)
+        v = b.add(b.mul(v, b.cst(1.0 + k * 0.01)), b.cst(0.5));
+    b.write(out, b.iter(l), v);
+    b.endBlock();
+    b.endLoop();
+
+    std::vector<double> data(64);
+    for (int i = 0; i < 64; ++i)
+        data[i] = i * 0.25;
+    auto r = test::runAndCompare(p, test::tinyOptions(), {{in.v, data}});
+    EXPECT_GE(r.compiled.partitionsCreated, 3);
+}
+
+TEST(Merge, PacksSmallUnits)
+{
+    using namespace ir;
+    // Many tiny sequential phases produce many small VCUs; merging
+    // should pack them well below one PCU each.
+    Program p;
+    Builder b(p);
+    auto out = p.addTensor("out", MemSpace::Dram, 16);
+    ir::OpId prev;
+    for (int i = 0; i < 12; ++i) {
+        b.beginBlock("b" + std::to_string(i));
+        ir::OpId v = prev.valid() ? b.add(prev, b.cst(1.0))
+                                  : b.cst(0.0);
+        prev = b.mul(v, b.cst(2.0));
+        b.endBlock();
+    }
+    b.beginBlock("st");
+    b.write(out, b.cst(0.0), prev);
+    b.endBlock();
+
+    auto r = test::runAndCompare(p, test::tinyOptions());
+    EXPECT_GT(r.compiled.unitsMerged, 0);
+    EXPECT_LT(r.compiled.resources.pcus, 13);
+}
+
+TEST(Pnr, AssignsDistinctCellsAndLatencies)
+{
+    using namespace ir;
+    Program p;
+    Builder b(p);
+    auto in = p.addTensor("in", MemSpace::Dram, 256);
+    auto buf = p.addTensor("buf", MemSpace::OnChip, 256);
+    auto out = p.addTensor("out", MemSpace::Dram, 256);
+    auto l1 = b.beginLoop("l1", 0, 256, 1, 16);
+    b.beginBlock("ld");
+    b.write(buf, b.iter(l1), b.read(in, b.iter(l1)));
+    b.endBlock();
+    b.endLoop();
+    auto l2 = b.beginLoop("l2", 0, 256, 1, 16);
+    b.beginBlock("st");
+    b.write(out, b.iter(l2), b.mul(b.read(buf, b.iter(l2)), b.cst(2.0)));
+    b.endBlock();
+    b.endLoop();
+
+    auto r = compiler::compile(p, test::tinyOptions());
+    const auto &g = r.lowering.graph;
+    // Different groups must sit on different cells.
+    std::map<int, std::pair<int, int>> cellOf;
+    for (const auto &u : g.units()) {
+        auto it = cellOf.find(u.mergedInto);
+        if (it == cellOf.end()) {
+            for (const auto &[grp, cell] : cellOf)
+                EXPECT_FALSE(cell ==
+                             std::make_pair(u.placeX, u.placeY))
+                    << "two groups on one cell";
+            cellOf[u.mergedInto] = {u.placeX, u.placeY};
+        } else {
+            EXPECT_EQ(it->second, std::make_pair(u.placeX, u.placeY));
+        }
+    }
+    // Latencies: same-group streams are local; others >= minLatency.
+    for (const auto &s : g.streams()) {
+        if (g.unit(s.src).mergedInto == g.unit(s.dst).mergedInto)
+            EXPECT_EQ(s.latency, 1);
+        else
+            EXPECT_GE(s.latency,
+                      test::tinyOptions().spec.net.minLatency);
+    }
+}
+
+TEST(Solver, AnnealFindsSingletonOptimum)
+{
+    // Independent nodes, capacity 4 each: optimum = ceil(n/4) parts.
+    PartitionProblem prob;
+    prob.n = 12;
+    prob.opCost.assign(prob.n, 1);
+    prob.maxOps = 4;
+    std::vector<int> warm(prob.n);
+    for (int i = 0; i < prob.n; ++i)
+        warm[i] = i; // Singletons: cost 12.
+    solver::AnnealOptions ao;
+    ao.iterations = 50000;
+    ao.lowerBound = 3;
+    auto res = solver::anneal(
+        prob.n, warm,
+        [&](const std::vector<int> &a, bool *f) {
+            return partitionCost(prob, a, f);
+        },
+        ao);
+    ASSERT_TRUE(res.feasible);
+    EXPECT_LE(res.cost, 3.5); // Within the 15% gap of optimum 3.
+}
+
+} // namespace
+} // namespace sara

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the support library: digraph algorithms (topological
+ * sort, transitive reduction, SCC, reachability) and table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/digraph.h"
+#include "support/logging.h"
+#include "support/rng.h"
+#include "support/table.h"
+
+namespace sara {
+namespace {
+
+TEST(Digraph, TopoSortLinear)
+{
+    Digraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 3);
+    auto order = g.topoSort();
+    ASSERT_TRUE(order.has_value());
+    EXPECT_EQ(*order, (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+TEST(Digraph, TopoSortDetectsCycle)
+{
+    Digraph g(3);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 0);
+    EXPECT_FALSE(g.topoSort().has_value());
+    EXPECT_TRUE(g.hasCycle());
+}
+
+TEST(Digraph, TopoSortDeterministicTieBreak)
+{
+    Digraph g(4);
+    g.addEdge(3, 1);
+    g.addEdge(2, 1);
+    auto order = g.topoSort();
+    ASSERT_TRUE(order.has_value());
+    // Roots 0,2,3 come in id order; 1 after its preds.
+    EXPECT_EQ(*order, (std::vector<size_t>{0, 2, 3, 1}));
+}
+
+TEST(Digraph, TransitiveReductionDiamond)
+{
+    // 0->1->3, 0->2->3, plus redundant 0->3.
+    Digraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(0, 2);
+    g.addEdge(1, 3);
+    g.addEdge(2, 3);
+    g.addEdge(0, 3);
+    g.transitiveReduction();
+    EXPECT_FALSE(g.hasEdge(0, 3));
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(0, 2));
+    EXPECT_TRUE(g.hasEdge(1, 3));
+    EXPECT_TRUE(g.hasEdge(2, 3));
+    EXPECT_EQ(g.numEdges(), 4u);
+}
+
+TEST(Digraph, TransitiveReductionChain)
+{
+    // Full order on 5 nodes reduces to a chain.
+    Digraph g(5);
+    for (size_t i = 0; i < 5; ++i)
+        for (size_t j = i + 1; j < 5; ++j)
+            g.addEdge(i, j);
+    g.transitiveReduction();
+    EXPECT_EQ(g.numEdges(), 4u);
+    for (size_t i = 0; i + 1 < 5; ++i)
+        EXPECT_TRUE(g.hasEdge(i, i + 1));
+}
+
+TEST(Digraph, TransitiveReductionPreservesReachability)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 20; ++trial) {
+        size_t n = 10;
+        Digraph g(n);
+        for (size_t i = 0; i < n; ++i)
+            for (size_t j = i + 1; j < n; ++j)
+                if (rng.chance(0.35))
+                    g.addEdge(i, j);
+        // Record reachability before.
+        std::vector<std::vector<bool>> before;
+        for (size_t i = 0; i < n; ++i)
+            before.push_back(g.reachableFrom(i));
+        g.transitiveReduction();
+        for (size_t i = 0; i < n; ++i) {
+            auto after = g.reachableFrom(i);
+            EXPECT_EQ(before[i], after) << "trial " << trial
+                                        << " node " << i;
+        }
+    }
+}
+
+TEST(Digraph, ReachableSkipDirect)
+{
+    Digraph g(3);
+    g.addEdge(0, 2);
+    EXPECT_TRUE(g.reachable(0, 2));
+    EXPECT_FALSE(g.reachable(0, 2, /*skip_direct=*/true));
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    EXPECT_TRUE(g.reachable(0, 2, /*skip_direct=*/true));
+}
+
+TEST(Digraph, SccComponents)
+{
+    // Two 2-cycles and one singleton.
+    Digraph g(5);
+    g.addEdge(0, 1);
+    g.addEdge(1, 0);
+    g.addEdge(2, 3);
+    g.addEdge(3, 2);
+    g.addEdge(1, 2);
+    auto comp = g.scc();
+    EXPECT_EQ(comp[0], comp[1]);
+    EXPECT_EQ(comp[2], comp[3]);
+    EXPECT_NE(comp[0], comp[2]);
+    EXPECT_NE(comp[4], comp[0]);
+    EXPECT_NE(comp[4], comp[2]);
+}
+
+TEST(Digraph, AddEdgeDeduplicates)
+{
+    Digraph g(2);
+    g.addEdge(0, 1);
+    g.addEdge(0, 1);
+    EXPECT_EQ(g.numEdges(), 1u);
+    g.addEdge(0, 1, /*dedup=*/false);
+    EXPECT_EQ(g.numEdges(), 2u);
+}
+
+TEST(Table, AlignmentAndFormat)
+{
+    Table t({"app", "speedup"});
+    t.addRow({"mlp", Table::fmtX(4.9)});
+    t.addRow({"longname", Table::fmt(1.234, 1)});
+    std::string s = t.str();
+    EXPECT_NE(s.find("4.90x"), std::string::npos);
+    EXPECT_NE(s.find("1.2"), std::string::npos);
+    EXPECT_NE(s.find("|---"), std::string::npos);
+}
+
+TEST(Logging, PanicThrows)
+{
+    EXPECT_THROW(panic("boom ", 42), PanicError);
+    EXPECT_THROW(fatal("user error"), FatalError);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(5), b(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.intIn(0, 1000), b.intIn(0, 1000));
+}
+
+} // namespace
+} // namespace sara

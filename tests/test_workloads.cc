@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Workload integration tests: every Table IV kernel compiles, fits
+ * through the full pipeline, simulates without deadlock, and produces
+ * memory contents identical to the sequential interpreter, across par
+ * factors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tests/helpers.h"
+#include "workloads/workload.h"
+
+namespace sara {
+namespace {
+
+class WorkloadCorrectness
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{
+};
+
+TEST_P(WorkloadCorrectness, MatchesInterpreter)
+{
+    auto [name, par] = GetParam();
+    workloads::WorkloadConfig cfg;
+    cfg.par = par;
+    auto w = workloads::buildByName(name, cfg);
+
+    compiler::CompilerOptions opt;
+    opt.spec = arch::PlasticineSpec::paper();
+    opt.pnrIterations = 1000;
+    // Reductions and transcendental ops reassociate across lanes:
+    // compare with a relative-ish tolerance.
+    test::runAndCompare(w.program, opt, w.dramInputs, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadCorrectness,
+    ::testing::Combine(::testing::ValuesIn(workloads::workloadNames()),
+                       ::testing::Values(1, 16, 64)),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_par" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+} // namespace
+} // namespace sara

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * sarac — command-line driver for the SARA toolchain. Compiles a
+ * built-in workload (or a demo program), simulates it on the
+ * Plasticine model, and reports the paper's metrics. The closest thing
+ * to "running the compiler" a downstream user gets without writing
+ * C++ against the Builder API.
+ *
+ * Usage:
+ *   sarac <workload> [options]
+ *   sarac --list
+ *
+ * Options:
+ *   --par N            parallelization factor (default 16)
+ *   --scale N          problem-size multiplier (default 1)
+ *   --dram hbm2|ddr3   DRAM technology (default hbm2)
+ *   --chip paper|vanilla|tiny
+ *   --control cmmc|fsm vanilla-PC control scheme with fsm
+ *   --partitioner bfs-fwd|bfs-bwd|dfs-fwd|dfs-bwd|solver
+ *   --no-<opt>         disable one optimization: msr, rtelm, retime,
+ *                      retime-m, xbar-elm, multibuffer, ctrl-reduction,
+ *                      duplication
+ *   --check            validate against the sequential interpreter
+ *   --trace FILE       write a Chrome-trace timeline of every firing
+ *   --dump-graph       print the VUDFG before simulating
+ *   --units            print the per-unit activity table
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "runtime/run.h"
+#include "support/logging.h"
+#include "support/table.h"
+
+using namespace sara;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: sarac <workload> [--par N] [--scale N] "
+                 "[--dram hbm2|ddr3] [--chip paper|vanilla|tiny]\n"
+                 "             [--control cmmc|fsm] [--partitioner ALG] "
+                 "[--no-OPT ...] [--check] [--trace FILE]\n"
+                 "             [--dump-graph] [--units]\n"
+                 "       sarac --list\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string workload = argv[1];
+    if (workload == "--list") {
+        for (const auto &name : workloads::workloadNames())
+            std::printf("%s\n", name.c_str());
+        return 0;
+    }
+
+    workloads::WorkloadConfig cfg;
+    runtime::RunConfig rc;
+    bool dumpGraph = false, unitTable = false;
+
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--par") {
+            cfg.par = std::stoi(next());
+        } else if (arg == "--scale") {
+            cfg.scale = std::stoi(next());
+        } else if (arg == "--dram") {
+            std::string d = next();
+            rc.dram = d == "ddr3" ? dram::DramSpec::ddr3()
+                                  : dram::DramSpec::hbm2();
+        } else if (arg == "--chip") {
+            std::string c = next();
+            rc.compiler.spec = c == "vanilla"
+                                   ? arch::PlasticineSpec::vanilla()
+                               : c == "tiny"
+                                   ? arch::PlasticineSpec::tiny()
+                                   : arch::PlasticineSpec::paper();
+        } else if (arg == "--control") {
+            rc.compiler.control =
+                next() == "fsm"
+                    ? compiler::ControlScheme::HierarchicalFsm
+                    : compiler::ControlScheme::Cmmc;
+        } else if (arg == "--partitioner") {
+            std::string a = next();
+            using compiler::PartitionAlgo;
+            rc.compiler.partitioner =
+                a == "bfs-fwd"   ? PartitionAlgo::BfsFwd
+                : a == "bfs-bwd" ? PartitionAlgo::BfsBwd
+                : a == "dfs-bwd" ? PartitionAlgo::DfsBwd
+                : a == "solver"  ? PartitionAlgo::Solver
+                                 : PartitionAlgo::DfsFwd;
+        } else if (arg == "--no-msr") {
+            rc.compiler.enableMsr = false;
+        } else if (arg == "--no-rtelm") {
+            rc.compiler.enableRtelm = false;
+        } else if (arg == "--no-retime") {
+            rc.compiler.enableRetime = false;
+        } else if (arg == "--no-retime-m") {
+            rc.compiler.enableRetimeM = false;
+        } else if (arg == "--no-xbar-elm") {
+            rc.compiler.enableXbarElm = false;
+        } else if (arg == "--no-multibuffer") {
+            rc.compiler.enableMultibuffer = false;
+        } else if (arg == "--no-ctrl-reduction") {
+            rc.compiler.enableControlReduction = false;
+        } else if (arg == "--no-duplication") {
+            rc.compiler.enableDuplication = false;
+        } else if (arg == "--check") {
+            rc.check = true;
+        } else if (arg == "--trace") {
+            rc.sim.traceFile = next();
+        } else if (arg == "--dump-graph") {
+            dumpGraph = true;
+        } else if (arg == "--units") {
+            unitTable = true;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return usage();
+        }
+    }
+
+    auto w = workloads::buildByName(workload, cfg);
+    auto r = runtime::runWorkload(w, rc);
+
+    if (dumpGraph)
+        std::printf("%s\n", r.compiled.lowering.graph.str().c_str());
+
+    std::printf("== %s (par %d, scale %d) ==\n", w.name.c_str(),
+                cfg.par, cfg.scale);
+    std::printf("compile: unroll %.1fms, lower %.1fms, partition "
+                "%.1fms, merge %.1fms, pnr %.1fms (total %.1fms)\n",
+                r.compiled.timing.unrollMs, r.compiled.timing.lowerMs,
+                r.compiled.timing.partitionMs,
+                r.compiled.timing.mergeMs, r.compiled.timing.pnrMs,
+                r.compiled.timing.totalMs);
+    std::printf("graph: %s\n",
+                r.compiled.lowering.graph.summary().c_str());
+    const auto &st = r.compiled.lowering.stats;
+    std::printf("cmmc: %d tokens (%d credits), %d fwd edges pruned, "
+                "%d bwd pruned; %d fifo-lowered, %d multibuffered, "
+                "%d sharded, %d copy-elided\n",
+                st.tokens, st.credits, st.forwardEdgesRemoved,
+                st.backwardEdgesRemoved, st.fifoLoweredTensors,
+                st.multibufferedTensors, st.shardedTensors,
+                st.copyElidedBlocks);
+    std::printf("resources: %s\n", r.compiled.resources.str().c_str());
+    std::printf("runtime: %llu cycles (%.2f us @1GHz), %.1f GFLOPS, "
+                "DRAM %.1f GB/s, compute util %.2f\n",
+                static_cast<unsigned long long>(r.sim.cycles),
+                r.timeUs(), r.gflops(), r.dramGBs(),
+                r.sim.avgComputeUtilization);
+    if (r.checked)
+        std::printf("verification: %s\n", r.correct ? "PASS" : "FAIL");
+
+    if (unitTable) {
+        Table t({"unit", "firings", "skips", "busy", "first", "last"});
+        const auto &g = r.compiled.lowering.graph;
+        for (const auto &u : g.units()) {
+            const auto &s = r.sim.unitStats[u.id.index()];
+            if (s.firings == 0 && s.skips == 0)
+                continue;
+            t.addRow({u.name, std::to_string(s.firings),
+                      std::to_string(s.skips),
+                      std::to_string(s.busyCycles),
+                      std::to_string(s.firstFire),
+                      std::to_string(s.lastFire)});
+        }
+        std::printf("%s", t.str().c_str());
+    }
+    return r.checked && !r.correct ? 1 : 0;
+}
