@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_opts.dir/bench_fig10_opts.cc.o"
+  "CMakeFiles/bench_fig10_opts.dir/bench_fig10_opts.cc.o.d"
+  "bench_fig10_opts"
+  "bench_fig10_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

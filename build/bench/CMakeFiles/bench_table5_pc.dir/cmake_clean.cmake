@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_pc.dir/bench_table5_pc.cc.o"
+  "CMakeFiles/bench_table5_pc.dir/bench_table5_pc.cc.o.d"
+  "bench_table5_pc"
+  "bench_table5_pc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_pc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

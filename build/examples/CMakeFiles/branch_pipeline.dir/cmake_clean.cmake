@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_pipeline.dir/branch_pipeline.cc.o"
+  "CMakeFiles/branch_pipeline.dir/branch_pipeline.cc.o.d"
+  "branch_pipeline"
+  "branch_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlp_scaling.dir/mlp_scaling.cc.o"
+  "CMakeFiles/mlp_scaling.dir/mlp_scaling.cc.o.d"
+  "mlp_scaling"
+  "mlp_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlp_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

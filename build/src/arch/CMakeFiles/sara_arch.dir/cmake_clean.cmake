@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sara_arch.dir/area.cc.o"
+  "CMakeFiles/sara_arch.dir/area.cc.o.d"
+  "CMakeFiles/sara_arch.dir/plasticine.cc.o"
+  "CMakeFiles/sara_arch.dir/plasticine.cc.o.d"
+  "libsara_arch.a"
+  "libsara_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sara_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

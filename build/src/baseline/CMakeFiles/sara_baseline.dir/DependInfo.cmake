@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/gpu_model.cc" "src/baseline/CMakeFiles/sara_baseline.dir/gpu_model.cc.o" "gcc" "src/baseline/CMakeFiles/sara_baseline.dir/gpu_model.cc.o.d"
+  "/root/repo/src/baseline/pc_workloads.cc" "src/baseline/CMakeFiles/sara_baseline.dir/pc_workloads.cc.o" "gcc" "src/baseline/CMakeFiles/sara_baseline.dir/pc_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/sara_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/sara_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sara_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

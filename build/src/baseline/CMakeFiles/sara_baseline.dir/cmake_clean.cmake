@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sara_baseline.dir/gpu_model.cc.o"
+  "CMakeFiles/sara_baseline.dir/gpu_model.cc.o.d"
+  "CMakeFiles/sara_baseline.dir/pc_workloads.cc.o"
+  "CMakeFiles/sara_baseline.dir/pc_workloads.cc.o.d"
+  "libsara_baseline.a"
+  "libsara_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sara_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

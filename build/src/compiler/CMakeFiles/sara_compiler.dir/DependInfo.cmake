@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/analysis.cc" "src/compiler/CMakeFiles/sara_compiler.dir/analysis.cc.o" "gcc" "src/compiler/CMakeFiles/sara_compiler.dir/analysis.cc.o.d"
+  "/root/repo/src/compiler/cmmc.cc" "src/compiler/CMakeFiles/sara_compiler.dir/cmmc.cc.o" "gcc" "src/compiler/CMakeFiles/sara_compiler.dir/cmmc.cc.o.d"
+  "/root/repo/src/compiler/driver.cc" "src/compiler/CMakeFiles/sara_compiler.dir/driver.cc.o" "gcc" "src/compiler/CMakeFiles/sara_compiler.dir/driver.cc.o.d"
+  "/root/repo/src/compiler/duplicate.cc" "src/compiler/CMakeFiles/sara_compiler.dir/duplicate.cc.o" "gcc" "src/compiler/CMakeFiles/sara_compiler.dir/duplicate.cc.o.d"
+  "/root/repo/src/compiler/lowering.cc" "src/compiler/CMakeFiles/sara_compiler.dir/lowering.cc.o" "gcc" "src/compiler/CMakeFiles/sara_compiler.dir/lowering.cc.o.d"
+  "/root/repo/src/compiler/merging.cc" "src/compiler/CMakeFiles/sara_compiler.dir/merging.cc.o" "gcc" "src/compiler/CMakeFiles/sara_compiler.dir/merging.cc.o.d"
+  "/root/repo/src/compiler/partition.cc" "src/compiler/CMakeFiles/sara_compiler.dir/partition.cc.o" "gcc" "src/compiler/CMakeFiles/sara_compiler.dir/partition.cc.o.d"
+  "/root/repo/src/compiler/pnr.cc" "src/compiler/CMakeFiles/sara_compiler.dir/pnr.cc.o" "gcc" "src/compiler/CMakeFiles/sara_compiler.dir/pnr.cc.o.d"
+  "/root/repo/src/compiler/retime.cc" "src/compiler/CMakeFiles/sara_compiler.dir/retime.cc.o" "gcc" "src/compiler/CMakeFiles/sara_compiler.dir/retime.cc.o.d"
+  "/root/repo/src/compiler/unroll.cc" "src/compiler/CMakeFiles/sara_compiler.dir/unroll.cc.o" "gcc" "src/compiler/CMakeFiles/sara_compiler.dir/unroll.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dfg/CMakeFiles/sara_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/sara_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/sara_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/sara_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sara_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sara_compiler.dir/analysis.cc.o"
+  "CMakeFiles/sara_compiler.dir/analysis.cc.o.d"
+  "CMakeFiles/sara_compiler.dir/cmmc.cc.o"
+  "CMakeFiles/sara_compiler.dir/cmmc.cc.o.d"
+  "CMakeFiles/sara_compiler.dir/driver.cc.o"
+  "CMakeFiles/sara_compiler.dir/driver.cc.o.d"
+  "CMakeFiles/sara_compiler.dir/duplicate.cc.o"
+  "CMakeFiles/sara_compiler.dir/duplicate.cc.o.d"
+  "CMakeFiles/sara_compiler.dir/lowering.cc.o"
+  "CMakeFiles/sara_compiler.dir/lowering.cc.o.d"
+  "CMakeFiles/sara_compiler.dir/merging.cc.o"
+  "CMakeFiles/sara_compiler.dir/merging.cc.o.d"
+  "CMakeFiles/sara_compiler.dir/partition.cc.o"
+  "CMakeFiles/sara_compiler.dir/partition.cc.o.d"
+  "CMakeFiles/sara_compiler.dir/pnr.cc.o"
+  "CMakeFiles/sara_compiler.dir/pnr.cc.o.d"
+  "CMakeFiles/sara_compiler.dir/retime.cc.o"
+  "CMakeFiles/sara_compiler.dir/retime.cc.o.d"
+  "CMakeFiles/sara_compiler.dir/unroll.cc.o"
+  "CMakeFiles/sara_compiler.dir/unroll.cc.o.d"
+  "libsara_compiler.a"
+  "libsara_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sara_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

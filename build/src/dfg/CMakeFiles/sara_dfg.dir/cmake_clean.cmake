@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sara_dfg.dir/vudfg.cc.o"
+  "CMakeFiles/sara_dfg.dir/vudfg.cc.o.d"
+  "libsara_dfg.a"
+  "libsara_dfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sara_dfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsara_dfg.a"
+)

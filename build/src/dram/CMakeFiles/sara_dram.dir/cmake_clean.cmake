@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sara_dram.dir/dram.cc.o"
+  "CMakeFiles/sara_dram.dir/dram.cc.o.d"
+  "libsara_dram.a"
+  "libsara_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sara_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sara_ir.dir/affine.cc.o"
+  "CMakeFiles/sara_ir.dir/affine.cc.o.d"
+  "CMakeFiles/sara_ir.dir/builder.cc.o"
+  "CMakeFiles/sara_ir.dir/builder.cc.o.d"
+  "CMakeFiles/sara_ir.dir/interp.cc.o"
+  "CMakeFiles/sara_ir.dir/interp.cc.o.d"
+  "CMakeFiles/sara_ir.dir/op.cc.o"
+  "CMakeFiles/sara_ir.dir/op.cc.o.d"
+  "CMakeFiles/sara_ir.dir/program.cc.o"
+  "CMakeFiles/sara_ir.dir/program.cc.o.d"
+  "libsara_ir.a"
+  "libsara_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sara_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sara_runtime.dir/run.cc.o"
+  "CMakeFiles/sara_runtime.dir/run.cc.o.d"
+  "libsara_runtime.a"
+  "libsara_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sara_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sara_sim.dir/simulator.cc.o"
+  "CMakeFiles/sara_sim.dir/simulator.cc.o.d"
+  "libsara_sim.a"
+  "libsara_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sara_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sara_solver.dir/mip.cc.o"
+  "CMakeFiles/sara_solver.dir/mip.cc.o.d"
+  "libsara_solver.a"
+  "libsara_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sara_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

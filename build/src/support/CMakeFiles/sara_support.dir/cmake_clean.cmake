@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sara_support.dir/digraph.cc.o"
+  "CMakeFiles/sara_support.dir/digraph.cc.o.d"
+  "CMakeFiles/sara_support.dir/logging.cc.o"
+  "CMakeFiles/sara_support.dir/logging.cc.o.d"
+  "CMakeFiles/sara_support.dir/table.cc.o"
+  "CMakeFiles/sara_support.dir/table.cc.o.d"
+  "libsara_support.a"
+  "libsara_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sara_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/analytics.cc" "src/workloads/CMakeFiles/sara_workloads.dir/analytics.cc.o" "gcc" "src/workloads/CMakeFiles/sara_workloads.dir/analytics.cc.o.d"
+  "/root/repo/src/workloads/dl.cc" "src/workloads/CMakeFiles/sara_workloads.dir/dl.cc.o" "gcc" "src/workloads/CMakeFiles/sara_workloads.dir/dl.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/sara_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/sara_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/streaming.cc" "src/workloads/CMakeFiles/sara_workloads.dir/streaming.cc.o" "gcc" "src/workloads/CMakeFiles/sara_workloads.dir/streaming.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/sara_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sara_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sara_workloads.dir/analytics.cc.o"
+  "CMakeFiles/sara_workloads.dir/analytics.cc.o.d"
+  "CMakeFiles/sara_workloads.dir/dl.cc.o"
+  "CMakeFiles/sara_workloads.dir/dl.cc.o.d"
+  "CMakeFiles/sara_workloads.dir/registry.cc.o"
+  "CMakeFiles/sara_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/sara_workloads.dir/streaming.cc.o"
+  "CMakeFiles/sara_workloads.dir/streaming.cc.o.d"
+  "libsara_workloads.a"
+  "libsara_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sara_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

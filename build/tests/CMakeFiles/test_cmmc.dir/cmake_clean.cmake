@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cmmc.dir/test_cmmc.cc.o"
+  "CMakeFiles/test_cmmc.dir/test_cmmc.cc.o.d"
+  "test_cmmc"
+  "test_cmmc.pdb"
+  "test_cmmc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cmmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/test_sim.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/sara_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sara_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/sara_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/sara_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sara_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/sara_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/sara_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/sara_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/sara_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/sara_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sara_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

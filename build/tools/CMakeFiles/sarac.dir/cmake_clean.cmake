@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarac.dir/sarac.cc.o"
+  "CMakeFiles/sarac.dir/sarac.cc.o.d"
+  "sarac"
+  "sarac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
