@@ -14,10 +14,76 @@
 #include <vector>
 
 #include "runtime/run.h"
+#include "support/json.h"
+#include "support/logging.h"
 #include "support/table.h"
 #include "workloads/workload.h"
 
 namespace sara::bench {
+
+/**
+ * Streaming collector for the machine-readable companion of each
+ * figure table (schema "sara-bench/v1"). The binaries print the
+ * human-readable table as before and additionally drop a
+ * BENCH_<figure>.json next to the binary so plots and CI trend checks
+ * never have to scrape stdout.
+ *
+ *   BenchJson out("fig9");
+ *   out.beginRow().kv("app", name).kv("gflops", r.gflops()).endRow();
+ *   out.write();   // -> BENCH_fig9.json
+ */
+class BenchJson
+{
+  public:
+    explicit BenchJson(std::string figure) : figure_(std::move(figure))
+    {
+        w_.beginObject();
+        w_.kv("schema", "sara-bench/v1");
+        w_.kv("figure", figure_);
+        w_.key("rows").beginArray();
+    }
+
+    BenchJson &beginRow()
+    {
+        w_.beginObject();
+        return *this;
+    }
+    BenchJson &endRow()
+    {
+        w_.endObject();
+        return *this;
+    }
+    template <typename T>
+    BenchJson &
+    kv(const std::string &k, T &&v)
+    {
+        w_.kv(k, std::forward<T>(v));
+        return *this;
+    }
+
+    /** Close the document and write BENCH_<figure>.json (or `path`). */
+    void
+    write(std::string path = "")
+    {
+        w_.endArray().endObject();
+        if (path.empty())
+            path = "BENCH_" + figure_ + ".json";
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            warn("cannot write bench report to ", path);
+            return;
+        }
+        const std::string &doc = w_.str();
+        std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("[bench] wrote %s\n", path.c_str());
+    }
+
+  private:
+    std::string figure_;
+    json::Writer w_;
+};
 
 inline double
 geomean(const std::vector<double> &xs)

@@ -57,6 +57,7 @@ main()
            "runtime > 1 means disabling the optimization slows the "
            "app down, resource > 1 means it saves resources)");
 
+    BenchJson out("fig10");
     for (const std::string name :
          {"mlp", "lstm", "bs", "gda", "ms", "sort", "pr", "rf"}) {
         workloads::WorkloadConfig cfg;
@@ -75,6 +76,14 @@ main()
         t.addRow({"(none)", "1.00", "1.00",
                   std::to_string(ref.compiled.lowering.stats.tokens),
                   std::to_string(ref.sim.cycles)});
+        out.beginRow()
+            .kv("app", name)
+            .kv("disabled", "none")
+            .kv("runtime_x", 1.0)
+            .kv("resource_x", 1.0)
+            .kv("tokens", ref.compiled.lowering.stats.tokens)
+            .kv("cycles", ref.sim.cycles)
+            .endRow();
         for (const auto &knob : kKnobs) {
             auto opt = base;
             knob.disable(opt);
@@ -87,8 +96,17 @@ main()
             t.addRow({knob.name, Table::fmt(rt), Table::fmt(res),
                       std::to_string(r.compiled.lowering.stats.tokens),
                       std::to_string(r.sim.cycles)});
+            out.beginRow()
+                .kv("app", name)
+                .kv("disabled", knob.name)
+                .kv("runtime_x", rt)
+                .kv("resource_x", res)
+                .kv("tokens", r.compiled.lowering.stats.tokens)
+                .kv("cycles", r.sim.cycles)
+                .endRow();
         }
         std::printf("-- %s --\n%s", name.c_str(), t.str().c_str());
     }
+    out.write();
     return 0;
 }

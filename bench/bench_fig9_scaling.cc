@@ -40,7 +40,7 @@ run(const std::string &name, int par, bool allOpts = true)
 }
 
 void
-fig9a()
+fig9a(BenchJson &out)
 {
     banner("Fig. 9a: performance & resource scaling vs par factor");
     const std::vector<int> pars = {1, 2, 4, 8, 16, 32, 64, 128, 192, 256};
@@ -59,13 +59,25 @@ fig9a()
                       std::to_string(r.compiled.resources.ags),
                       Table::fmt(r.dramGBs(), 1),
                       r.compiled.resources.fits ? "y" : "n"});
+            out.beginRow()
+                .kv("panel", "a")
+                .kv("app", name)
+                .kv("par", par)
+                .kv("cycles", r.sim.cycles)
+                .kv("speedup", base / r.sim.cycles)
+                .kv("pcus", r.compiled.resources.pcus)
+                .kv("pmus", r.compiled.resources.pmus)
+                .kv("ags", r.compiled.resources.ags)
+                .kv("dram_gbs", r.dramGBs())
+                .kv("fits", r.compiled.resources.fits)
+                .endRow();
         }
         std::printf("-- %s --\n%s", name.c_str(), t.str().c_str());
     }
 }
 
 void
-fig9b()
+fig9b(BenchJson &out)
 {
     banner("Fig. 9b: performance-resource trade-off (Pareto frontier)");
     const std::vector<int> pars = {1, 4, 16, 64, 128, 256};
@@ -97,6 +109,15 @@ fig9b()
                       std::to_string(pt.cycles),
                       std::to_string(pt.resources),
                       dominated ? "" : "*"});
+            out.beginRow()
+                .kv("panel", "b")
+                .kv("app", name)
+                .kv("par", pt.par)
+                .kv("opts", pt.opts)
+                .kv("cycles", pt.cycles)
+                .kv("total_units", pt.resources)
+                .kv("pareto", !dominated)
+                .endRow();
         }
         std::printf("-- %s --\n%s", name.c_str(), t.str().c_str());
     }
@@ -107,7 +128,9 @@ fig9b()
 int
 main()
 {
-    fig9a();
-    fig9b();
+    BenchJson out("fig9");
+    fig9a(out);
+    fig9b(out);
+    out.write();
     return 0;
 }

@@ -1,6 +1,5 @@
 #include "compiler/driver.h"
 
-#include <chrono>
 #include <sstream>
 
 #include "compiler/duplicate.h"
@@ -12,18 +11,6 @@
 
 namespace sara::compiler {
 
-namespace {
-
-double
-msSince(std::chrono::steady_clock::time_point start)
-{
-    return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now() - start)
-        .count();
-}
-
-} // namespace
-
 std::string
 ResourceReport::str() const
 {
@@ -34,53 +21,102 @@ ResourceReport::str() const
     return os.str();
 }
 
+double
+CompileResult::phaseMs(const std::string &phase) const
+{
+    for (const auto &span : phases)
+        if (span.name == phase)
+            return span.durMs;
+    return 0.0;
+}
+
 CompileResult
 compile(const ir::Program &input, const CompilerOptions &options)
 {
     CompileResult result;
-    auto t0 = std::chrono::steady_clock::now();
+    telemetry::SpanRecorder rec;
+    telemetry::ScopedSpan all(rec, "compile");
 
     // 1. Parallelization lowering (consume par factors).
     result.program = input;
-    auto tUnroll = std::chrono::steady_clock::now();
-    result.unrollStats =
-        unrollProgram(result.program, options.spec.pcu.lanes);
-    if (options.enableDuplication &&
-        options.control == ControlScheme::Cmmc)
-        duplicateReadShared(result.program, options);
-    result.timing.unrollMs = msSince(tUnroll);
+    {
+        telemetry::ScopedSpan span(rec, "unroll");
+        span.stat("ops-in", static_cast<double>(input.numOps()));
+        result.unrollStats =
+            unrollProgram(result.program, options.spec.pcu.lanes);
+        if (options.enableDuplication &&
+            options.control == ControlScheme::Cmmc)
+            duplicateReadShared(result.program, options);
+        span.stat("ops-out",
+                  static_cast<double>(result.program.numOps()));
+        span.stat("vectorized-loops", result.unrollStats.vectorizedLoops);
+        span.stat("unrolled-loops", result.unrollStats.unrolledLoops);
+        span.stat("clones-created", result.unrollStats.clonesCreated);
+        span.stat("combine-blocks", result.unrollStats.combineBlocks);
+    }
 
     // 2. Imperative-to-dataflow lowering + CMMC.
-    auto tLower = std::chrono::steady_clock::now();
-    result.lowering = lowerToVudfg(result.program, options);
-    result.timing.lowerMs = msSince(tLower);
+    {
+        telemetry::ScopedSpan span(rec, "lower");
+        result.lowering = lowerToVudfg(result.program, options);
+        const auto &st = result.lowering.stats;
+        span.stat("units",
+                  static_cast<double>(result.lowering.graph.numUnits()));
+        span.stat("streams",
+                  static_cast<double>(result.lowering.graph.numStreams()));
+        span.stat("cmmc-tokens", st.tokens);
+        span.stat("cmmc-credits", st.credits);
+        span.stat("fwd-edges-pruned", st.forwardEdgesRemoved);
+        span.stat("bwd-edges-pruned", st.backwardEdgesRemoved);
+        span.stat("fifo-lowered", st.fifoLoweredTensors);
+        span.stat("copy-elided", st.copyElidedBlocks);
+        span.stat("multibuffered", st.multibufferedTensors);
+        span.stat("sharded", st.shardedTensors);
+    }
 
     // 3. Compute partitioning: split oversized VCUs (Table I/III).
-    auto tPart = std::chrono::steady_clock::now();
-    if (!options.ignoreResourceLimits) {
-        PartitionReport pr =
-            partitionCompute(result.lowering.graph, options);
-        result.partitionsCreated = pr.partitionsCreated;
+    {
+        telemetry::ScopedSpan span(rec, "partition");
+        if (!options.ignoreResourceLimits) {
+            PartitionReport pr =
+                partitionCompute(result.lowering.graph, options);
+            result.partitionsCreated = pr.partitionsCreated;
+            span.stat("units-partitioned", pr.unitsPartitioned);
+            span.stat("partitions-created", pr.partitionsCreated);
+        }
     }
-    result.timing.partitionMs = msSince(tPart);
 
     // 4. Global merging: pack small VUs into physical units.
-    auto tMerge = std::chrono::steady_clock::now();
-    MergeReport mr = globalMerge(result.lowering.graph, options);
-    result.unitsMerged = mr.unitsMerged;
-    result.timing.mergeMs = msSince(tMerge);
+    MergeReport mr;
+    {
+        telemetry::ScopedSpan span(rec, "merge");
+        mr = globalMerge(result.lowering.graph, options);
+        result.unitsMerged = mr.unitsMerged;
+        span.stat("units-merged", mr.unitsMerged);
+        span.stat("pcu-groups", mr.pcuGroups);
+        span.stat("pmu-groups", mr.pmuGroups);
+        span.stat("ag-groups", mr.agGroups);
+    }
 
     // 5. Placement & routing: physical latencies per stream.
-    auto tPnr = std::chrono::steady_clock::now();
-    PnrReport pnr = placeAndRoute(result.lowering.graph, options);
-    result.timing.pnrMs = msSince(tPnr);
-    (void)pnr;
+    {
+        telemetry::ScopedSpan span(rec, "pnr");
+        PnrReport pnr = placeAndRoute(result.lowering.graph, options);
+        span.stat("wirelength", pnr.wirelength);
+        span.stat("max-link-load", pnr.maxLinkLoad);
+        span.stat("avg-stream-latency", pnr.avgStreamLatency);
+    }
 
     // 6. Retiming: deepen FIFOs on imbalanced reconvergent paths
     //    (uses the routed latencies).
     RetimeReport rr;
-    if (options.enableRetime)
-        rr = retimeStreams(result.lowering.graph, options);
+    {
+        telemetry::ScopedSpan span(rec, "retime");
+        if (options.enableRetime)
+            rr = retimeStreams(result.lowering.graph, options);
+        span.stat("streams-deepened", rr.streamsDeepened);
+        span.stat("retime-units", rr.retimeUnits);
+    }
 
     // 7. Resource report.
     ResourceReport &res = result.resources;
@@ -103,7 +139,8 @@ compile(const ir::Program &input, const CompilerOptions &options)
             warn("design does not fit: ", res.str());
     }
 
-    result.timing.totalMs = msSince(t0);
+    all.end();
+    result.phases = rec.spans();
     return result;
 }
 

@@ -11,11 +11,13 @@
  */
 
 #include <string>
+#include <vector>
 
 #include "compiler/lowering.h"
 #include "compiler/options.h"
 #include "compiler/unroll.h"
 #include "ir/program.h"
+#include "support/telemetry.h"
 
 namespace sara::compiler {
 
@@ -35,17 +37,6 @@ struct ResourceReport
     std::string str() const;
 };
 
-/** Per-phase compile timing (Fig. 11b/c). */
-struct CompileTiming
-{
-    double unrollMs = 0;
-    double lowerMs = 0;
-    double partitionMs = 0;
-    double mergeMs = 0;
-    double pnrMs = 0;
-    double totalMs = 0;
-};
-
 /** Full compilation output. */
 struct CompileResult
 {
@@ -53,9 +44,18 @@ struct CompileResult
     Lowering lowering;   ///< Graph + maps + CMMC statistics.
     UnrollStats unrollStats;
     ResourceReport resources;
-    CompileTiming timing;
+    /** Per-phase telemetry spans (Fig. 11b/c): a root "compile" span
+     *  with one child per pipeline phase ("unroll", "lower",
+     *  "partition", "merge", "pnr", "retime"), each carrying
+     *  pass-level stats (nodes in/out, units created/merged/...). */
+    std::vector<telemetry::Span> phases;
     int partitionsCreated = 0; ///< Sub-VCUs added by compute partition.
     int unitsMerged = 0;       ///< VUs packed by global merging.
+
+    /** Wall-clock of the first span named `phase` (0 when absent). */
+    double phaseMs(const std::string &phase) const;
+    /** End-to-end compile wall-clock (the root "compile" span). */
+    double totalMs() const { return phaseMs("compile"); }
 };
 
 /** Run the full pipeline on a copy of `input`. */

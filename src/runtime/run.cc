@@ -1,9 +1,11 @@
 #include "runtime/run.h"
 
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 #include "ir/interp.h"
+#include "support/json.h"
 #include "support/logging.h"
 
 namespace sara::runtime {
@@ -14,9 +16,14 @@ runWorkload(const workloads::Workload &w, const RunConfig &config)
     RunOutcome out;
     out.compiled = compiler::compile(w.program, config.compiler);
 
+    // Merge the compile phases into the simulator's trace timeline
+    // (one unified Chrome-trace file per run).
+    sim::SimOptions simOpt = config.sim;
+    simOpt.compileSpans = &out.compiled.phases;
+
     sim::Simulator simulator(out.compiled.program,
                              out.compiled.lowering.graph, config.dram,
-                             config.sim);
+                             simOpt);
     for (const auto &[tid, data] : w.dramInputs)
         simulator.setDramTensor(ir::TensorId(tid), data);
     out.sim = simulator.run();
@@ -58,6 +65,146 @@ summarize(const workloads::Workload &w, const RunOutcome &r)
        << r.sim.avgComputeUtilization << ", "
        << r.compiled.resources.str();
     return os.str();
+}
+
+std::string
+jsonReport(const workloads::Workload &w, const RunConfig &config,
+           const RunOutcome &r)
+{
+    json::Writer j;
+    j.beginObject();
+    j.kv("schema", "sara-run-report/v1");
+    j.kv("workload", w.name);
+
+    j.key("config").beginObject();
+    j.kv("chip", config.compiler.spec.name);
+    j.kv("dram", config.dram.name);
+    j.kv("control",
+         config.compiler.control == compiler::ControlScheme::Cmmc
+             ? "cmmc"
+             : "fsm");
+    j.kv("partitioner",
+         compiler::partitionAlgoName(config.compiler.partitioner));
+    j.endObject();
+
+    j.key("compile").beginObject();
+    j.kv("total_ms", r.compiled.totalMs());
+    j.key("phases").beginArray();
+    for (const auto &span : r.compiled.phases) {
+        j.beginObject();
+        j.kv("name", span.name);
+        j.kv("ms", span.durMs);
+        j.kv("depth", span.depth);
+        j.key("stats").beginObject();
+        for (const auto &[k, v] : span.stats)
+            j.kv(k, v);
+        j.endObject();
+        j.endObject();
+    }
+    j.endArray();
+    const auto &res = r.compiled.resources;
+    j.key("resources").beginObject();
+    j.kv("pcus", res.pcus).kv("pmus", res.pmus).kv("ags", res.ags);
+    j.kv("pcus_avail", res.pcusAvail).kv("pmus_avail", res.pmusAvail);
+    j.kv("ags_avail", res.agsAvail);
+    j.kv("retime_units", res.retimeUnits);
+    j.kv("merge_units", res.mergeUnits);
+    j.kv("controller_units", res.controllerUnits);
+    j.kv("fits", res.fits);
+    j.endObject();
+    const auto &st = r.compiled.lowering.stats;
+    j.key("cmmc").beginObject();
+    j.kv("tokens", st.tokens).kv("credits", st.credits);
+    j.kv("fwd_edges_pruned", st.forwardEdgesRemoved);
+    j.kv("bwd_edges_pruned", st.backwardEdgesRemoved);
+    j.kv("fifo_lowered", st.fifoLoweredTensors);
+    j.kv("multibuffered", st.multibufferedTensors);
+    j.kv("sharded", st.shardedTensors);
+    j.kv("copy_elided", st.copyElidedBlocks);
+    j.endObject();
+    j.kv("partitions_created", r.compiled.partitionsCreated);
+    j.kv("units_merged", r.compiled.unitsMerged);
+    j.endObject(); // compile
+
+    j.key("sim").beginObject();
+    j.kv("cycles", r.sim.cycles);
+    j.kv("time_us", r.timeUs());
+    j.kv("total_firings", r.sim.totalFirings);
+    j.kv("flops", r.sim.flops);
+    j.kv("gflops", r.gflops());
+    j.kv("compute_utilization", r.sim.avgComputeUtilization);
+    j.key("stalls").beginObject();
+    for (int c = 0; c < sim::kNumStallCauses; ++c)
+        j.kv(sim::stallCauseName(static_cast<sim::StallCause>(c)),
+             r.sim.stallTotals[c]);
+    j.endObject();
+    j.key("dram").beginObject();
+    j.kv("bytes", r.sim.dramBytes);
+    j.kv("requests", r.sim.dramRequests);
+    j.kv("row_hits", r.sim.dramRowHits);
+    j.kv("achieved_gbs", r.dramGBs());
+    j.kv("peak_gbs", config.dram.totalGBs());
+    j.endObject();
+    const auto &g = r.compiled.lowering.graph;
+    j.key("units").beginArray();
+    for (const auto &u : g.units()) {
+        const auto &s = r.sim.unitStats[u.id.index()];
+        if (s.firings == 0 && s.skips == 0 && s.stallTotal() == 0)
+            continue; // VMU storage units and dead engines.
+        j.beginObject();
+        j.kv("name", u.name);
+        j.kv("firings", s.firings);
+        j.kv("skips", s.skips);
+        j.kv("busy", s.busyCycles);
+        j.kv("first_fire", s.firstFire);
+        j.kv("last_fire", s.lastFire);
+        j.kv("done_at", s.doneAt);
+        j.key("stalls").beginObject();
+        for (int c = 0; c < sim::kNumStallCauses; ++c)
+            j.kv(sim::stallCauseName(static_cast<sim::StallCause>(c)),
+                 s.stallCycles[c]);
+        j.endObject();
+        j.endObject();
+    }
+    j.endArray();
+    // FIFO pressure: report streams that ever came close to their
+    // credit window (the interesting, backpressure-prone ones).
+    j.key("fifo_pressure").beginArray();
+    for (const auto &fs : r.sim.fifoStats) {
+        if (fs.capacity == UINT64_MAX ||
+            fs.highWater * 2 < fs.capacity)
+            continue;
+        j.beginObject();
+        j.kv("name", fs.name);
+        j.kv("high_water", fs.highWater);
+        j.kv("capacity", fs.capacity);
+        j.kv("pushes", fs.pushes);
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject(); // sim
+
+    j.key("check").beginObject();
+    j.kv("checked", r.checked);
+    j.kv("correct", r.correct);
+    j.endObject();
+
+    j.endObject();
+    return j.str();
+}
+
+void
+writeJsonReport(const std::string &path, const workloads::Workload &w,
+                const RunConfig &config, const RunOutcome &r)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot write JSON report to ", path);
+    std::string doc = jsonReport(w, config, r);
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    inform("wrote run report to ", path);
 }
 
 } // namespace sara::runtime

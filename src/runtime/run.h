@@ -59,6 +59,21 @@ RunOutcome runWorkload(const workloads::Workload &w,
 /** One-line metric summary for reports. */
 std::string summarize(const workloads::Workload &w, const RunOutcome &r);
 
+/**
+ * Machine-readable run report (schema "sara-run-report/v1"): compile
+ * phase spans and pass stats, resource usage, per-cause stall totals,
+ * per-unit activity, FIFO pressure, and DRAM statistics. This is the
+ * payload behind `sarac --json` and the bench harness BENCH_*.json
+ * trajectory files.
+ */
+std::string jsonReport(const workloads::Workload &w,
+                       const RunConfig &config, const RunOutcome &r);
+
+/** Write jsonReport() to `path`; fatal()s when the file can't open. */
+void writeJsonReport(const std::string &path,
+                     const workloads::Workload &w, const RunConfig &config,
+                     const RunOutcome &r);
+
 } // namespace sara::runtime
 
 #endif // SARA_RUNTIME_RUN_H

@@ -46,6 +46,7 @@ class FifoState
         // Pre-filled credits (CMMC backward edges).
         for (int i = 0; i < spec.initTokens; ++i)
             stored_.emplace_back();
+        noteOccupancy();
     }
 
     const dfg::Stream &spec() const { return *spec_; }
@@ -61,6 +62,7 @@ class FifoState
         SARA_ASSERT(hasSpace(), "push to full fifo ", spec_->name);
         inflight_.push_back(std::move(v));
         ++pushes_;
+        noteOccupancy();
         scheduleDelivery(sched_->now() + latency_);
     }
 
@@ -71,6 +73,7 @@ class FifoState
         SARA_ASSERT(hasSpace(), "push to full fifo ", spec_->name);
         inflight_.push_back(std::move(v));
         ++pushes_;
+        noteOccupancy();
         scheduleDelivery(sched_->now() + latency_ + extraDelay);
     }
 
@@ -92,11 +95,23 @@ class FifoState
 
     uint64_t pushes() const { return pushes_; }
     uint64_t pops() const { return pops_; }
+    /** Max occupancy ever reached (stored + in flight). */
+    uint64_t highWater() const { return highWater_; }
+    /** Credit-window capacity (UINT64_MAX for token streams). */
+    uint64_t capacity() const { return capacity_; }
 
     /** Waiters: consumers park on dataCv, producers on spaceCv. */
     CondVar dataCv, spaceCv;
 
   private:
+    void
+    noteOccupancy()
+    {
+        uint64_t occ = occupancy();
+        if (occ > highWater_)
+            highWater_ = occ;
+    }
+
     void
     scheduleDelivery(uint64_t at)
     {
@@ -126,6 +141,7 @@ class FifoState
     uint64_t latency_ = 1;
     uint64_t lastDeliverAt_ = 0;
     uint64_t pushes_ = 0, pops_ = 0;
+    uint64_t highWater_ = 0;
     bool isToken_ = false;
 };
 

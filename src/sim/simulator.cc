@@ -56,6 +56,20 @@ isArith(ir::OpKind kind)
 
 } // namespace
 
+const char *
+stallCauseName(StallCause cause)
+{
+    switch (cause) {
+      case StallCause::InputData: return "input-data";
+      case StallCause::CmmcToken: return "cmmc-token";
+      case StallCause::Credit: return "credit";
+      case StallCause::DramLatency: return "dram-latency";
+      case StallCause::BankConflict: return "bank-conflict";
+      case StallCause::BusContention: return "bus-contention";
+    }
+    return "?";
+}
+
 /** Per-tensor sharded storage group (all VMUs holding one tensor). */
 struct Simulator::MemGroup
 {
@@ -103,6 +117,7 @@ struct Simulator::Engine
     int bufPtr = 0;
     int outstanding = 0;
     CondVar agCv;
+    Simulator *sim = nullptr; ///< For global DRAM telemetry.
 
     // Stats and diagnostics.
     UnitStats stats;
@@ -216,6 +231,7 @@ Simulator::buildState()
                 ++e->arithLops;
         }
         e->agCv.bind(sched_);
+        e->sim = this;
         engines_[u.id.index()] = std::move(e);
     }
 }
@@ -246,23 +262,31 @@ Simulator::locate(const MemGroup &grp, int64_t logical) const
 // ---------------------------------------------------------------------------
 
 Task
-Simulator::awaitNonEmpty(Engine &e, FifoState &f, const char *why)
+Simulator::awaitNonEmpty(Engine &e, FifoState &f, StallCause cause,
+                         const char *why)
 {
     while (f.empty()) {
         e.blockReason = why;
         e.blockDetail = f.spec().name;
+        uint64_t blockedAt = sched_.now();
         co_await f.dataCv.wait();
+        e.stats.stallCycles[static_cast<int>(cause)] +=
+            sched_.now() - blockedAt;
     }
     e.blockReason = "";
 }
 
 Task
-Simulator::awaitSpace(Engine &e, FifoState &f, const char *why)
+Simulator::awaitSpace(Engine &e, FifoState &f, StallCause cause,
+                      const char *why)
 {
     while (!f.hasSpace()) {
         e.blockReason = why;
         e.blockDetail = f.spec().name;
+        uint64_t blockedAt = sched_.now();
         co_await f.spaceCv.wait();
+        e.stats.stallCycles[static_cast<int>(cause)] +=
+            sched_.now() - blockedAt;
     }
     e.blockReason = "";
 }
@@ -273,6 +297,7 @@ Simulator::runUnit(Engine &e)
     try {
         co_await runLevel(e, 0);
         e.finished = true;
+        e.stats.doneAt = sched_.now();
     } catch (const std::exception &ex) {
         e.error = ex.what();
         e.finished = false;
@@ -293,7 +318,8 @@ Simulator::runLevel(Engine &e, int k)
         e.curMax[k] = c.max;
         auto resolve = [&](int bindingIdx, int64_t &slot) -> Task {
             auto &f = fifos_[u.inputs[bindingIdx].stream.index()];
-            co_await awaitNonEmpty(e, f, "loop bound");
+            co_await awaitNonEmpty(e, f, StallCause::InputData,
+                                   "loop bound");
             slot = std::llround(f.front()[0]);
         };
         if (c.minInput >= 0)
@@ -309,7 +335,8 @@ Simulator::runLevel(Engine &e, int k)
     bool enabled = true;
     for (int bi : e.predsAt[k]) {
         auto &f = fifos_[u.inputs[bi].stream.index()];
-        co_await awaitNonEmpty(e, f, "branch predicate");
+        co_await awaitNonEmpty(e, f, StallCause::InputData,
+                               "branch predicate");
         bool v = f.front()[0] != 0.0;
         if (v != u.inputs[bi].expectTrue)
             enabled = false;
@@ -323,7 +350,7 @@ Simulator::runLevel(Engine &e, int k)
     // may proceed (popped at wrap).
     for (int bi : e.gatesAt[k]) {
         auto &f = fifos_[u.inputs[bi].stream.index()];
-        co_await awaitNonEmpty(e, f, "CMMC token");
+        co_await awaitNonEmpty(e, f, StallCause::CmmcToken, "CMMC token");
     }
 
     if (k == e.n) {
@@ -350,7 +377,8 @@ Simulator::runLevel(Engine &e, int k)
         while (true) {
             e.val[k] = static_cast<int64_t>(round);
             co_await runLevel(e, k + 1);
-            co_await awaitNonEmpty(e, condFifo, "while condition");
+            co_await awaitNonEmpty(e, condFifo, StallCause::InputData,
+                                   "while condition");
             bool cont = condFifo.front()[0] != 0.0;
             condFifo.pop();
             if (++round > opt_.maxWhileRounds)
@@ -386,7 +414,7 @@ Simulator::fireOnce(Engine &e)
     // regardless of pop level).
     for (int bi : e.operandBindings) {
         auto &f = fifos_[u.inputs[bi].stream.index()];
-        co_await awaitNonEmpty(e, f, "operand");
+        co_await awaitNonEmpty(e, f, StallCause::InputData, "operand");
     }
 
     evalLops(e);
@@ -403,7 +431,11 @@ Simulator::fireOnce(Engine &e)
         e.stats.firstFire = sched_.now();
     e.stats.lastFire = sched_.now();
     ++e.stats.firings;
-    e.stats.busyCycles += 1 + extraCycles;
+    // Lane serialization from bank conflicts is accounted as a stall,
+    // not useful occupancy: the firing itself is one busy cycle.
+    e.stats.busyCycles += 1;
+    e.stats.stallCycles[static_cast<int>(StallCause::BankConflict)] +=
+        extraCycles;
     if (!opt_.traceFile.empty())
         recordFiring(e, sched_.now(), 1 + extraCycles, false);
     e.flops += static_cast<uint64_t>(e.arithLops) * e.activeLanes;
@@ -417,7 +449,8 @@ Simulator::skipRound(Engine &e, int k)
     // Wait for this level's gate tokens so forwarding preserves order.
     for (int bi : e.gatesAt[k]) {
         auto &f = fifos_[u.inputs[bi].stream.index()];
-        co_await awaitNonEmpty(e, f, "CMMC token (skip)");
+        co_await awaitNonEmpty(e, f, StallCause::CmmcToken,
+                               "CMMC token (skip)");
     }
     co_await wrapActions(e, k);
     // A read engine skipped at firing granularity still owes its
@@ -426,7 +459,8 @@ Simulator::skipRound(Engine &e, int k)
     if (k == e.n && u.respOutput >= 0 && u.dir == AccessDir::Read &&
         (u.kind == VuKind::MemPort || u.kind == VuKind::Ag)) {
         auto &f = fifos_[u.outputs[u.respOutput].stream.index()];
-        co_await awaitSpace(e, f, "skip response space");
+        co_await awaitSpace(e, f, StallCause::Credit,
+                            "skip response space");
         f.push(Element(std::max(1, e.activeLanes), 0.0));
     }
     ++e.stats.skips;
@@ -448,7 +482,10 @@ Simulator::wrapActions(Engine &e, int k)
         while (e.outstanding > 0) {
             e.blockReason = "DRAM write drain";
             e.blockDetail = u.name;
+            uint64_t blockedAt = sched_.now();
             co_await e.agCv.wait();
+            e.stats.stallCycles[static_cast<int>(
+                StallCause::DramLatency)] += sched_.now() - blockedAt;
         }
         e.blockReason = "";
     }
@@ -456,7 +493,7 @@ Simulator::wrapActions(Engine &e, int k)
     for (int oi : e.outputsAt[k]) {
         const auto &ob = u.outputs[oi];
         auto &f = fifos_[ob.stream.index()];
-        co_await awaitSpace(e, f, "output space");
+        co_await awaitSpace(e, f, StallCause::Credit, "output space");
         if (f.spec().kind == StreamKind::Token) {
             f.push(Element{});
         } else if (k == e.n) {
@@ -471,7 +508,7 @@ Simulator::wrapActions(Engine &e, int k)
         // Zero-trip and skipped rounds reach the wrap without any
         // firing having awaited round-rate operands; the element is
         // owed (rates are balanced) but may still be in flight.
-        co_await awaitNonEmpty(e, f, "wrap pop");
+        co_await awaitNonEmpty(e, f, StallCause::InputData, "wrap pop");
         f.pop();
     }
 
@@ -627,7 +664,10 @@ Simulator::applyMemPort(Engine &e, uint64_t &extraCycles)
         while (busFree > sched_.now()) {
             e.blockReason = "PMU bus";
             e.blockDetail = u.name;
+            uint64_t blockedAt = sched_.now();
             co_await sched_.delay(busFree - sched_.now());
+            e.stats.stallCycles[static_cast<int>(
+                StallCause::BusContention)] += sched_.now() - blockedAt;
         }
         e.blockReason = "";
         busFree = sched_.now() + 1 + extraCycles;
@@ -651,7 +691,8 @@ Simulator::applyMemPort(Engine &e, uint64_t &extraCycles)
         }
         SARA_ASSERT(u.respOutput >= 0, u.name, ": read port w/o output");
         auto &f = fifos_[u.outputs[u.respOutput].stream.index()];
-        co_await awaitSpace(e, f, "read response space");
+        co_await awaitSpace(e, f, StallCause::Credit,
+                            "read response space");
         f.push(std::move(out));
     } else {
         SARA_ASSERT(u.dataInput >= 0, u.name, ": write port w/o data");
@@ -683,7 +724,10 @@ Simulator::applyAg(Engine &e)
     while (e.outstanding >= opt_.agOutstanding) {
         e.blockReason = "DRAM outstanding limit";
         e.blockDetail = u.name;
+        uint64_t blockedAt = sched_.now();
         co_await e.agCv.wait();
+        e.stats.stallCycles[static_cast<int>(StallCause::DramLatency)] +=
+            sched_.now() - blockedAt;
     }
     e.blockReason = "";
 
@@ -728,7 +772,8 @@ Simulator::applyAg(Engine &e)
         }
         SARA_ASSERT(u.respOutput >= 0, u.name, ": load AG w/o output");
         auto &f = fifos_[u.outputs[u.respOutput].stream.index()];
-        co_await awaitSpace(e, f, "DRAM response space");
+        co_await awaitSpace(e, f, StallCause::Credit,
+                            "DRAM response space");
         uint64_t extra = maxComplete > sched_.now()
                              ? maxComplete - sched_.now()
                              : 0;
@@ -747,13 +792,27 @@ Simulator::applyAg(Engine &e)
 
     // Track completion for the outstanding window / write drain.
     ++e.outstanding;
+    ++dramOutstanding_;
     sched_.scheduleFnAt(
         [](void *arg) {
             auto *eng = static_cast<Engine *>(arg);
             --eng->outstanding;
+            --eng->sim->dramOutstanding_;
+            eng->sim->sampleDram();
             eng->agCv.notifyAll();
         },
         &e, std::max(maxComplete, sched_.now()));
+    sampleDram();
+}
+
+void
+Simulator::sampleDram()
+{
+    uint64_t now = sched_.now();
+    dramOutstandingSeries_.sample(now,
+                                  static_cast<double>(dramOutstanding_));
+    dramBytesSeries_.sample(
+        now, static_cast<double>(dram_.bytesTransferred()));
 }
 
 // ---------------------------------------------------------------------------
@@ -795,6 +854,8 @@ Simulator::run()
         result.unitStats[e->u->id.index()] = e->stats;
         result.totalFirings += e->stats.firings;
         result.flops += e->flops;
+        for (int c = 0; c < kNumStallCauses; ++c)
+            result.stallTotals[c] += e->stats.stallCycles[c];
         if (e->u->kind == VuKind::Compute) {
             busySum += e->stats.busyCycles;
             ++computeUnits;
@@ -804,6 +865,18 @@ Simulator::run()
         result.avgComputeUtilization =
             static_cast<double>(busySum) /
             (static_cast<double>(computeUnits) * end);
+    result.fifoStats.reserve(fifos_.size());
+    for (const auto &f : fifos_) {
+        FifoStats fs;
+        fs.name = f.spec().name;
+        fs.pushes = f.pushes();
+        fs.pops = f.pops();
+        fs.highWater = f.highWater();
+        fs.capacity = f.capacity();
+        result.fifoStats.push_back(std::move(fs));
+    }
+    result.dramOutstanding = dramOutstandingSeries_;
+    result.dramBytesSeries = dramBytesSeries_;
     if (!opt_.traceFile.empty())
         writeTrace();
     result.dramBytes = dram_.bytesTransferred();
@@ -811,6 +884,8 @@ Simulator::run()
     result.dramRowHits = dram_.rowHits();
     result.dramAchievedBytesPerCycle = dram_.achievedBytesPerCycle(end);
     collectTensors(result);
+    debug("simulation done: ", end, " cycles, ", result.totalFirings,
+          " firings, ", result.dramRequests, " DRAM requests");
     return result;
 }
 
@@ -854,34 +929,62 @@ Simulator::recordFiring(const Engine &e, uint64_t start, uint64_t dur,
 void
 Simulator::writeTrace() const
 {
-    std::FILE *f = std::fopen(opt_.traceFile.c_str(), "w");
-    if (!f) {
-        warn("cannot write trace file ", opt_.traceFile);
+    // One unified timeline: compile phases (pid 0, wall-clock µs),
+    // engine firings (pid 1, one thread lane per unit, 1 cycle = 1 µs),
+    // and DRAM counter tracks (pid 1).
+    telemetry::ChromeTraceWriter w(opt_.traceFile);
+    if (!w.ok())
         return;
+
+    constexpr int kCompilePid = 0, kSimPid = 1;
+    if (opt_.compileSpans && !opt_.compileSpans->empty()) {
+        w.processName(kCompilePid, "compile (wall clock)");
+        for (const auto &span : *opt_.compileSpans) {
+            w.complete(kCompilePid, span.depth, span.name,
+                       span.startMs * 1e3, span.durMs * 1e3);
+        }
     }
-    // Chrome trace format: one complete ("X") event per firing; the
-    // unit id doubles as the thread id so each engine gets a lane.
-    std::fputs("[\n", f);
-    bool first = true;
+
+    w.processName(kSimPid, "simulation (cycles)");
+    for (const auto &e : engines_) {
+        if (!e)
+            continue;
+        w.threadName(kSimPid, e->u->id.v, e->u->name);
+    }
     for (const auto &ev : trace_) {
         const auto &u = g_.unit(dfg::VuId(ev.unit));
-        std::fprintf(f,
-                     "%s{\"name\":\"%s%s\",\"ph\":\"X\",\"pid\":0,"
-                     "\"tid\":%d,\"ts\":%llu,\"dur\":%u}",
-                     first ? "" : ",\n", u.name.c_str(),
-                     ev.skip ? " (skip)" : "", ev.unit,
-                     static_cast<unsigned long long>(ev.start), ev.dur);
-        first = false;
+        w.complete(kSimPid, ev.unit,
+                   ev.skip ? u.name + " (skip)" : u.name,
+                   static_cast<double>(ev.start),
+                   static_cast<double>(ev.dur));
     }
-    std::fputs("\n]\n", f);
-    std::fclose(f);
-    inform("wrote ", trace_.size(), " trace events to ",
-           opt_.traceFile);
+    for (const auto &[t, v] : dramOutstandingSeries_.samples())
+        w.counter(kSimPid, "dram-outstanding", static_cast<double>(t),
+                  "requests", v);
+    // Differentiate the cumulative byte counter into a bandwidth track.
+    uint64_t prevT = 0;
+    double prevBytes = 0.0;
+    for (const auto &[t, v] : dramBytesSeries_.samples()) {
+        if (t > prevT)
+            w.counter(kSimPid, "dram-bandwidth", static_cast<double>(t),
+                      "bytes/cycle",
+                      (v - prevBytes) / static_cast<double>(t - prevT));
+        prevT = t;
+        prevBytes = v;
+    }
+
+    size_t events = w.eventsWritten();
+    w.close();
+    inform("wrote ", events, " trace events to ", opt_.traceFile);
 }
 
 void
 Simulator::reportDeadlock()
 {
+    // Flush the timeline first: the trace leading up to a deadlock is
+    // exactly the evidence needed to diagnose it.
+    if (!opt_.traceFile.empty())
+        writeTrace();
     std::string report = "simulation deadlock; blocked engines:";
     for (const auto &e : engines_) {
         if (!e || e->finished)

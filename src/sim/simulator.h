@@ -29,6 +29,7 @@
  * blocked engine and what it waits on.
  */
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -40,6 +41,7 @@
 #include "ir/program.h"
 #include "sim/fifo.h"
 #include "sim/task.h"
+#include "support/telemetry.h"
 
 namespace sara::sim {
 
@@ -52,9 +54,32 @@ struct SimOptions
     /** Max outstanding DRAM requests per AG. */
     int agOutstanding = 64;
     /** When non-empty, write a Chrome-trace (chrome://tracing /
-     *  Perfetto) JSON timeline of every engine firing here. */
+     *  Perfetto) JSON timeline of every engine firing here. The trace
+     *  is also flushed on deadlock, so the evidence survives the
+     *  panic. */
     std::string traceFile;
+    /** Compile-phase spans to merge into the trace timeline (one
+     *  unified file per run); may be null. Not owned — must outlive
+     *  the simulator. */
+    const std::vector<telemetry::Span> *compileSpans = nullptr;
 };
+
+/**
+ * Why an engine spent a blocked cycle (paper Fig. 9-11 cycle
+ * accounting). Every cycle an engine is neither firing nor finished
+ * is attributed to exactly one cause.
+ */
+enum class StallCause : uint8_t {
+    InputData,     ///< Operand/bound/predicate data not yet arrived.
+    CmmcToken,     ///< Waiting on a CMMC order/gate token.
+    Credit,        ///< Downstream FIFO full (backpressure).
+    DramLatency,   ///< DRAM outstanding window full or write drain.
+    BankConflict,  ///< Serialized lanes colliding on a PMU bank.
+    BusContention, ///< PMU read/write port bus busy.
+};
+inline constexpr int kNumStallCauses = 6;
+
+const char *stallCauseName(StallCause cause);
 
 /** Per-unit activity counters. */
 struct UnitStats
@@ -64,6 +89,29 @@ struct UnitStats
     uint64_t busyCycles = 0;
     uint64_t firstFire = 0; ///< Cycle of the first firing.
     uint64_t lastFire = 0;  ///< Cycle of the last firing.
+    uint64_t doneAt = 0;    ///< Cycle the engine finished all rounds.
+    /** Blocked cycles by cause; busyCycles + sum(stallCycles) ==
+     *  doneAt, and doneAt + idle-after-done == total cycles. */
+    std::array<uint64_t, kNumStallCauses> stallCycles{};
+
+    uint64_t
+    stallTotal() const
+    {
+        uint64_t sum = 0;
+        for (uint64_t c : stallCycles)
+            sum += c;
+        return sum;
+    }
+};
+
+/** Per-stream FIFO pressure statistics. */
+struct FifoStats
+{
+    std::string name;
+    uint64_t pushes = 0;
+    uint64_t pops = 0;
+    uint64_t highWater = 0; ///< Max occupancy incl. in-flight elements.
+    uint64_t capacity = 0;  ///< depth + latency credit window.
 };
 
 /** Simulation outcome and metrics. */
@@ -80,6 +128,14 @@ struct SimResult
     // Per-unit stats (indexed by VuId).
     std::vector<UnitStats> unitStats;
     double avgComputeUtilization = 0.0;
+    /** Aggregate blocked cycles by cause across all engines. */
+    std::array<uint64_t, kNumStallCauses> stallTotals{};
+    /** Per-stream pressure (indexed by StreamId). */
+    std::vector<FifoStats> fifoStats;
+    /** Sampled DRAM telemetry: outstanding requests across all AGs,
+     *  and cumulative bytes transferred (both vs. cycle). */
+    telemetry::TimeSeries dramOutstanding;
+    telemetry::TimeSeries dramBytesSeries;
     /** Final memory contents per tensor id (reconstructed across
      *  shards; on-chip tensors read from the most recently written
      *  multibuffer copy). */
@@ -110,8 +166,10 @@ class Simulator
     Task fireOnce(Engine &e);
     Task wrapActions(Engine &e, int k);
     Task skipRound(Engine &e, int k);
-    Task awaitNonEmpty(Engine &e, FifoState &f, const char *why);
-    Task awaitSpace(Engine &e, FifoState &f, const char *why);
+    Task awaitNonEmpty(Engine &e, FifoState &f, StallCause cause,
+                       const char *why);
+    Task awaitSpace(Engine &e, FifoState &f, StallCause cause,
+                    const char *why);
 
     // Firing helpers.
     void evalLops(Engine &e);
@@ -129,6 +187,7 @@ class Simulator
     void collectTensors(SimResult &result);
     void recordFiring(const Engine &e, uint64_t start, uint64_t dur,
                       bool skip);
+    void sampleDram();
     void writeTrace() const;
 
     const ir::Program &p_;
@@ -136,6 +195,11 @@ class Simulator
     SimOptions opt_;
     Scheduler sched_;
     dram::DramModel dram_;
+
+    /** DRAM requests in flight across every AG (telemetry). */
+    int dramOutstanding_ = 0;
+    telemetry::TimeSeries dramOutstandingSeries_{4096, 8};
+    telemetry::TimeSeries dramBytesSeries_{4096, 8};
 
     struct TraceEvent
     {

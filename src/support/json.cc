@@ -1,0 +1,382 @@
+#include "support/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "support/logging.h"
+
+namespace sara::json {
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+number(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    // Integral values print without an exponent or trailing zeros so
+    // cycle counts stay exact and diffs stay readable.
+    if (v == std::floor(v) && std::abs(v) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+void
+Writer::comma()
+{
+    if (afterKey_) {
+        afterKey_ = false;
+        return; // The key already emitted its separator.
+    }
+    if (needComma_)
+        out_ += ',';
+    needComma_ = true;
+}
+
+Writer &
+Writer::beginObject()
+{
+    comma();
+    out_ += '{';
+    stack_.push_back('{');
+    needComma_ = false;
+    return *this;
+}
+
+Writer &
+Writer::endObject()
+{
+    SARA_ASSERT(!stack_.empty() && stack_.back() == '{',
+                "json: endObject without beginObject");
+    stack_.pop_back();
+    out_ += '}';
+    needComma_ = true;
+    return *this;
+}
+
+Writer &
+Writer::beginArray()
+{
+    comma();
+    out_ += '[';
+    stack_.push_back('[');
+    needComma_ = false;
+    return *this;
+}
+
+Writer &
+Writer::endArray()
+{
+    SARA_ASSERT(!stack_.empty() && stack_.back() == '[',
+                "json: endArray without beginArray");
+    stack_.pop_back();
+    out_ += ']';
+    needComma_ = true;
+    return *this;
+}
+
+Writer &
+Writer::key(const std::string &k)
+{
+    SARA_ASSERT(!stack_.empty() && stack_.back() == '{',
+                "json: key outside an object");
+    if (needComma_)
+        out_ += ',';
+    out_ += '"';
+    out_ += escape(k);
+    out_ += "\":";
+    needComma_ = true;
+    afterKey_ = true;
+    return *this;
+}
+
+Writer &
+Writer::value(const std::string &v)
+{
+    comma();
+    out_ += '"';
+    out_ += escape(v);
+    out_ += '"';
+    return *this;
+}
+
+Writer &
+Writer::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+Writer &
+Writer::value(double v)
+{
+    comma();
+    out_ += number(v);
+    return *this;
+}
+
+Writer &
+Writer::value(int64_t v)
+{
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+Writer &
+Writer::value(uint64_t v)
+{
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+Writer &
+Writer::value(int v)
+{
+    return value(static_cast<int64_t>(v));
+}
+
+Writer &
+Writer::value(bool v)
+{
+    comma();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+Writer &
+Writer::null()
+{
+    comma();
+    out_ += "null";
+    return *this;
+}
+
+const std::string &
+Writer::str() const
+{
+    SARA_ASSERT(stack_.empty(), "json: document has ", stack_.size(),
+                " unclosed scopes");
+    return out_;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : obj)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+const Value &
+Value::at(const std::string &key) const
+{
+    const Value *v = find(key);
+    if (!v)
+        fatal("json: missing key '", key, "'");
+    return *v;
+}
+
+namespace {
+
+struct Parser
+{
+    const char *p;
+    const char *end;
+
+    void
+    skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                           *p == '\r'))
+            ++p;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (p >= end)
+            fatal("json: unexpected end of input");
+        return *p;
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fatal("json: expected '", c, "', got '", *p, "'");
+        ++p;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (p < end && peek() == c) {
+            ++p;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (p < end && *p != '"') {
+            char c = *p++;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (p >= end)
+                fatal("json: dangling escape");
+            char esc = *p++;
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (end - p < 4)
+                    fatal("json: truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = *p++;
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += h - '0';
+                    else if (h >= 'a' && h <= 'f')
+                        code += h - 'a' + 10;
+                    else if (h >= 'A' && h <= 'F')
+                        code += h - 'A' + 10;
+                    else
+                        fatal("json: bad \\u escape");
+                }
+                // Reports only ever escape control characters; emit
+                // the low byte (sufficient for ASCII round trips).
+                out += static_cast<char>(code < 0x80 ? code : '?');
+                break;
+              }
+              default:
+                fatal("json: unknown escape \\", esc);
+            }
+        }
+        expect('"');
+        return out;
+    }
+
+    Value
+    parseValue()
+    {
+        Value v;
+        char c = peek();
+        if (c == '{') {
+            ++p;
+            v.kind = Value::Kind::Object;
+            if (!consume('}')) {
+                do {
+                    std::string key = parseString();
+                    expect(':');
+                    v.obj.emplace_back(std::move(key), parseValue());
+                } while (consume(','));
+                expect('}');
+            }
+        } else if (c == '[') {
+            ++p;
+            v.kind = Value::Kind::Array;
+            if (!consume(']')) {
+                do {
+                    v.arr.push_back(parseValue());
+                } while (consume(','));
+                expect(']');
+            }
+        } else if (c == '"') {
+            v.kind = Value::Kind::String;
+            v.str = parseString();
+        } else if (c == 't' || c == 'f') {
+            const char *word = c == 't' ? "true" : "false";
+            size_t len = std::strlen(word);
+            if (static_cast<size_t>(end - p) < len ||
+                std::strncmp(p, word, len) != 0)
+                fatal("json: bad literal");
+            p += len;
+            v.kind = Value::Kind::Bool;
+            v.boolean = c == 't';
+        } else if (c == 'n') {
+            if (end - p < 4 || std::strncmp(p, "null", 4) != 0)
+                fatal("json: bad literal");
+            p += 4;
+        } else {
+            char *after = nullptr;
+            v.num = std::strtod(p, &after);
+            if (after == p)
+                fatal("json: bad number at '",
+                      std::string(p, std::min<size_t>(8, end - p)), "'");
+            v.kind = Value::Kind::Number;
+            p = after;
+        }
+        return v;
+    }
+};
+
+} // namespace
+
+Value
+parse(const std::string &text)
+{
+    Parser parser{text.data(), text.data() + text.size()};
+    Value v = parser.parseValue();
+    parser.skipWs();
+    if (parser.p != parser.end)
+        fatal("json: trailing garbage after document");
+    return v;
+}
+
+} // namespace sara::json

@@ -1,0 +1,104 @@
+#ifndef SARA_SUPPORT_JSON_H
+#define SARA_SUPPORT_JSON_H
+
+/**
+ * @file
+ * Minimal JSON support: a streaming writer for the machine-readable
+ * run reports (`sarac --json`, `BENCH_*.json`) and Chrome traces, and
+ * a small recursive-descent parser used by tests to schema-check what
+ * the writers emit. No external dependencies, no clever tricks —
+ * reports are small and written once per run.
+ */
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sara::json {
+
+/** Escape `s` for embedding inside a JSON string literal (no quotes). */
+std::string escape(const std::string &s);
+
+/** Format a double as a JSON number (finite; NaN/inf become null). */
+std::string number(double v);
+
+/**
+ * Streaming JSON writer with automatic comma management. Usage:
+ *
+ *   Writer w;
+ *   w.beginObject();
+ *   w.kv("cycles", 123).key("units").beginArray(); ... w.endArray();
+ *   w.endObject();
+ *   std::string doc = w.str();
+ *
+ * The writer panics on gross misuse (value without key inside an
+ * object is not detected, but unbalanced begin/end is).
+ */
+class Writer
+{
+  public:
+    Writer &beginObject();
+    Writer &endObject();
+    Writer &beginArray();
+    Writer &endArray();
+    Writer &key(const std::string &k);
+    Writer &value(const std::string &v);
+    Writer &value(const char *v);
+    Writer &value(double v);
+    Writer &value(int64_t v);
+    Writer &value(uint64_t v);
+    Writer &value(int v);
+    Writer &value(bool v);
+    Writer &null();
+
+    template <typename T>
+    Writer &
+    kv(const std::string &k, T &&v)
+    {
+        key(k);
+        return value(std::forward<T>(v));
+    }
+
+    /** Finished document; panics if begin/end are unbalanced. */
+    const std::string &str() const;
+
+  private:
+    void comma();
+
+    std::string out_;
+    std::vector<char> stack_; ///< '{' or '[' per open scope.
+    bool needComma_ = false;
+    bool afterKey_ = false;
+};
+
+/** Parsed JSON value (tests / schema checks only). */
+struct Value
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+
+    bool boolean = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<Value> arr;
+    std::vector<std::pair<std::string, Value>> obj; ///< Insertion order.
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const Value *find(const std::string &key) const;
+    bool has(const std::string &key) const { return find(key) != nullptr; }
+    /** find() that fatal()s when the key is missing. */
+    const Value &at(const std::string &key) const;
+};
+
+/** Parse a complete JSON document; fatal()s on malformed input. */
+Value parse(const std::string &text);
+
+} // namespace sara::json
+
+#endif // SARA_SUPPORT_JSON_H

@@ -7,8 +7,14 @@
  *
  * Follows the gem5 convention: panic() is for internal invariant
  * violations (a bug in this library), fatal() is for user errors
- * (bad configuration, malformed input programs). inform()/warn()
- * report status without stopping execution.
+ * (bad configuration, malformed input programs). debug()/inform()/
+ * warn() report status without stopping execution.
+ *
+ * Output is filtered by a global log level (Warn by default, so
+ * debug/info are silent). The SARA_LOG_LEVEL environment variable
+ * (debug|info|warn|error) sets the initial level; setLogLevel()
+ * overrides it at runtime. Every line carries a monotonic timestamp
+ * relative to process start.
  */
 
 #include <cstdlib>
@@ -32,9 +38,21 @@ class FatalError : public std::runtime_error
     explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
 };
 
+/** Message severities, least severe first. */
+enum class LogLevel : int {
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3, ///< panic/fatal diagnostics; never filtered.
+};
+
+/** Messages below `level` are suppressed. */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
 namespace detail {
 
-void logMessage(const char *level, const std::string &msg);
+void logMessage(LogLevel level, const char *tag, const std::string &msg);
 
 template <typename... Args>
 std::string
@@ -53,7 +71,7 @@ template <typename... Args>
 panic(Args &&...args)
 {
     std::string msg = detail::concat(std::forward<Args>(args)...);
-    detail::logMessage("panic", msg);
+    detail::logMessage(LogLevel::Error, "panic", msg);
     throw PanicError(msg);
 }
 
@@ -63,7 +81,7 @@ template <typename... Args>
 fatal(Args &&...args)
 {
     std::string msg = detail::concat(std::forward<Args>(args)...);
-    detail::logMessage("fatal", msg);
+    detail::logMessage(LogLevel::Error, "fatal", msg);
     throw FatalError(msg);
 }
 
@@ -72,7 +90,21 @@ template <typename... Args>
 void
 inform(Args &&...args)
 {
-    detail::logMessage("info", detail::concat(std::forward<Args>(args)...));
+    if (logLevel() > LogLevel::Info)
+        return; // Skip the concatenation, not just the print.
+    detail::logMessage(LogLevel::Info, "info",
+                       detail::concat(std::forward<Args>(args)...));
+}
+
+/** Developer-facing detail; hidden unless SARA_LOG_LEVEL=debug. */
+template <typename... Args>
+void
+debug(Args &&...args)
+{
+    if (logLevel() > LogLevel::Debug)
+        return;
+    detail::logMessage(LogLevel::Debug, "debug",
+                       detail::concat(std::forward<Args>(args)...));
 }
 
 /** Possible-problem message; execution continues. */
@@ -80,10 +112,14 @@ template <typename... Args>
 void
 warn(Args &&...args)
 {
-    detail::logMessage("warn", detail::concat(std::forward<Args>(args)...));
+    if (logLevel() > LogLevel::Warn)
+        return;
+    detail::logMessage(LogLevel::Warn, "warn",
+                       detail::concat(std::forward<Args>(args)...));
 }
 
-/** Globally enable/disable inform() output (warn/panic/fatal always print). */
+/** Back-compat switch: verbose shows inform() (level Info), quiet
+ *  restores the Warn default. */
 void setVerbose(bool verbose);
 bool verbose();
 

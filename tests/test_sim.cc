@@ -8,8 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 #include "dram/dram.h"
 #include "ir/builder.h"
+#include "runtime/run.h"
 #include "sim/fifo.h"
 #include "sim/task.h"
 #include "tests/helpers.h"
@@ -283,6 +289,98 @@ TEST(Timing, MultibufferOverlapsStages)
     auto off = runAndCompare(p2, optOff);
     EXPECT_GE(on.compiled.lowering.stats.multibufferedTensors, 1);
     EXPECT_LT(on.sim.cycles, off.sim.cycles);
+}
+
+/** Every blocked cycle must be attributed to exactly one cause: for
+ *  every engine, busy + sum(stalls) == the cycle it finished, and no
+ *  engine outlives the run. Checked across the full workload suite so
+ *  any uninstrumented await path fails loudly. */
+TEST(Stalls, EveryCycleIsAttributed)
+{
+    for (const auto &name : workloads::workloadNames()) {
+        workloads::WorkloadConfig cfg;
+        auto w = workloads::buildByName(name, cfg);
+        runtime::RunConfig rc;
+        auto r = runtime::runWorkload(w, rc);
+
+        std::array<uint64_t, sim::kNumStallCauses> sums{};
+        const auto &g = r.compiled.lowering.graph;
+        for (const auto &u : g.units()) {
+            const auto &s = r.sim.unitStats[u.id.index()];
+            if (s.firings == 0 && s.skips == 0 && s.stallTotal() == 0)
+                continue; // Storage VMUs have no engine.
+            EXPECT_EQ(s.busyCycles + s.stallTotal(), s.doneAt)
+                << name << ": " << u.name
+                << " has unattributed blocked cycles";
+            EXPECT_LE(s.doneAt, r.sim.cycles) << name << ": " << u.name;
+            for (int c = 0; c < sim::kNumStallCauses; ++c)
+                sums[c] += s.stallCycles[c];
+        }
+        for (int c = 0; c < sim::kNumStallCauses; ++c)
+            EXPECT_EQ(sums[c], r.sim.stallTotals[c])
+                << name << ": aggregate mismatch for cause "
+                << sim::stallCauseName(static_cast<sim::StallCause>(c));
+    }
+}
+
+/** FIFO high-water marks stay within the credit window the compiler
+ *  sized (occupancy above capacity would mean credits don't bound the
+ *  buffer, i.e. the hardware FIFO would overflow). */
+TEST(Stalls, FifoHighWaterWithinCapacity)
+{
+    workloads::WorkloadConfig cfg;
+    auto w = workloads::buildByName("mlp", cfg);
+    runtime::RunConfig rc;
+    auto r = runtime::runWorkload(w, rc);
+    ASSERT_FALSE(r.sim.fifoStats.empty());
+    bool anyNonZero = false;
+    for (const auto &fs : r.sim.fifoStats) {
+        EXPECT_LE(fs.highWater, fs.capacity) << fs.name;
+        anyNonZero = anyNonZero || fs.highWater > 0;
+    }
+    EXPECT_TRUE(anyNonZero);
+}
+
+/** A deadlocked run must still flush the trace before panicking —
+ *  the timeline up to the hang is the diagnosis. */
+TEST(Deadlock, FlushesTraceBeforePanic)
+{
+    workloads::WorkloadConfig cfg;
+    cfg.par = 4;
+    auto w = workloads::buildByName("sgd", cfg);
+    compiler::CompilerOptions opt;
+    opt.pnrIterations = 200;
+    auto compiled = compiler::compile(w.program, opt);
+
+    // Sabotage the control graph: draining a backward credit stream's
+    // initial tokens stops its consumer from ever firing.
+    bool sabotaged = false;
+    for (auto &s : compiled.lowering.graph.streams())
+        if (s.initTokens > 0) {
+            s.initTokens = 0;
+            sabotaged = true;
+            break;
+        }
+    ASSERT_TRUE(sabotaged);
+
+    std::string path = testing::TempDir() + "deadlock_trace.json";
+    std::remove(path.c_str());
+    sim::SimOptions so;
+    so.traceFile = path;
+    sim::Simulator simulator(compiled.program, compiled.lowering.graph,
+                             dram::DramSpec::hbm2(), so);
+    for (const auto &[tid, data] : w.dramInputs)
+        simulator.setDramTensor(ir::TensorId(tid), data);
+    EXPECT_THROW(simulator.run(), PanicError);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "no trace written on deadlock";
+    std::ostringstream os;
+    os << in.rdbuf();
+    EXPECT_GT(os.str().size(), 2u);
+    EXPECT_EQ(os.str()[0], '[');
+    EXPECT_EQ(os.str().back(), '\n');
+    std::remove(path.c_str());
 }
 
 } // namespace

@@ -21,9 +21,13 @@
  *                      retime-m, xbar-elm, multibuffer, ctrl-reduction,
  *                      duplication
  *   --check            validate against the sequential interpreter
- *   --trace FILE       write a Chrome-trace timeline of every firing
+ *   --trace FILE       write a unified Chrome trace (compile phases +
+ *                      every firing + DRAM counter tracks)
+ *   --json FILE        write a machine-readable run report
+ *                      (schema sara-run-report/v1)
  *   --dump-graph       print the VUDFG before simulating
  *   --units            print the per-unit activity table
+ *   --stalls           print the per-unit stall-attribution table
  */
 
 #include <cstdio>
@@ -47,7 +51,8 @@ usage()
                  "[--dram hbm2|ddr3] [--chip paper|vanilla|tiny]\n"
                  "             [--control cmmc|fsm] [--partitioner ALG] "
                  "[--no-OPT ...] [--check] [--trace FILE]\n"
-                 "             [--dump-graph] [--units]\n"
+                 "             [--json FILE] [--dump-graph] [--units] "
+                 "[--stalls]\n"
                  "       sarac --list\n");
     return 2;
 }
@@ -68,7 +73,8 @@ main(int argc, char **argv)
 
     workloads::WorkloadConfig cfg;
     runtime::RunConfig rc;
-    bool dumpGraph = false, unitTable = false;
+    bool dumpGraph = false, unitTable = false, stallTable = false;
+    std::string jsonFile;
 
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
@@ -126,10 +132,14 @@ main(int argc, char **argv)
             rc.check = true;
         } else if (arg == "--trace") {
             rc.sim.traceFile = next();
+        } else if (arg == "--json") {
+            jsonFile = next();
         } else if (arg == "--dump-graph") {
             dumpGraph = true;
         } else if (arg == "--units") {
             unitTable = true;
+        } else if (arg == "--stalls") {
+            stallTable = true;
         } else {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             return usage();
@@ -144,12 +154,13 @@ main(int argc, char **argv)
 
     std::printf("== %s (par %d, scale %d) ==\n", w.name.c_str(),
                 cfg.par, cfg.scale);
-    std::printf("compile: unroll %.1fms, lower %.1fms, partition "
-                "%.1fms, merge %.1fms, pnr %.1fms (total %.1fms)\n",
-                r.compiled.timing.unrollMs, r.compiled.timing.lowerMs,
-                r.compiled.timing.partitionMs,
-                r.compiled.timing.mergeMs, r.compiled.timing.pnrMs,
-                r.compiled.timing.totalMs);
+    std::printf("compile:");
+    for (const auto &span : r.compiled.phases) {
+        if (span.depth == 0)
+            continue; // Root span printed as the total below.
+        std::printf(" %s %.1fms,", span.name.c_str(), span.durMs);
+    }
+    std::printf(" (total %.1fms)\n", r.compiled.totalMs());
     std::printf("graph: %s\n",
                 r.compiled.lowering.graph.summary().c_str());
     const auto &st = r.compiled.lowering.stats;
@@ -184,5 +195,35 @@ main(int argc, char **argv)
         }
         std::printf("%s", t.str().c_str());
     }
+
+    if (stallTable) {
+        std::vector<std::string> header = {"unit", "busy"};
+        for (int c = 0; c < sim::kNumStallCauses; ++c)
+            header.push_back(
+                sim::stallCauseName(static_cast<sim::StallCause>(c)));
+        header.push_back("done@");
+        Table t(header);
+        const auto &g = r.compiled.lowering.graph;
+        for (const auto &u : g.units()) {
+            const auto &s = r.sim.unitStats[u.id.index()];
+            if (s.firings == 0 && s.skips == 0 && s.stallTotal() == 0)
+                continue;
+            std::vector<std::string> row = {
+                u.name, std::to_string(s.busyCycles)};
+            for (int c = 0; c < sim::kNumStallCauses; ++c)
+                row.push_back(std::to_string(s.stallCycles[c]));
+            row.push_back(std::to_string(s.doneAt));
+            t.addRow(row);
+        }
+        std::vector<std::string> total = {"TOTAL", ""};
+        for (int c = 0; c < sim::kNumStallCauses; ++c)
+            total.push_back(std::to_string(r.sim.stallTotals[c]));
+        total.push_back(std::to_string(r.sim.cycles));
+        t.addRow(total);
+        std::printf("%s", t.str().c_str());
+    }
+
+    if (!jsonFile.empty())
+        runtime::writeJsonReport(jsonFile, w, rc, r);
     return r.checked && !r.correct ? 1 : 0;
 }
