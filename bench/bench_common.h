@@ -10,16 +10,119 @@
 
 #include <cmath>
 #include <cstdio>
+#include <functional>
+#include <iterator>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "artifact/cache.h"
+#include "jobs/jobs.h"
 #include "runtime/run.h"
 #include "support/json.h"
 #include "support/logging.h"
 #include "support/table.h"
+#include "support/telemetry.h"
 #include "workloads/workload.h"
 
 namespace sara::bench {
+
+/**
+ * Execution context shared by the figure binaries: every bench sweep
+ * accepts `-j N` (parallel sweep points via the job scheduler; default
+ * all cores, `-j 1` restores the old serial behavior) and
+ * `--cache-dir DIR` / `--cache` (compile through the artifact cache,
+ * so a re-run after an interrupted or repeated sweep only pays for
+ * simulation). Sweep *output* stays deterministic regardless of `-j`:
+ * points run in parallel but rows are emitted in submission order.
+ */
+struct BenchContext
+{
+    int threads = 0; ///< Sweep-point concurrency (0 = hardware).
+    bool useCache = false;
+    std::string cacheDir;
+    std::unique_ptr<artifact::ArtifactCache> cache;
+    std::unique_ptr<artifact::CachingCompiler> compiler;
+
+    static BenchContext
+    parse(int argc, char **argv)
+    {
+        BenchContext ctx;
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            auto next = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    fatal("missing value for ", arg);
+                return argv[++i];
+            };
+            if (arg == "-j")
+                ctx.threads = std::stoi(next());
+            else if (arg == "--cache")
+                ctx.useCache = true;
+            else if (arg == "--cache-dir") {
+                ctx.useCache = true;
+                ctx.cacheDir = next();
+            } else
+                fatal("unknown bench option ", arg,
+                      " (supported: -j N, --cache, --cache-dir DIR)");
+        }
+        if (ctx.useCache) {
+            telemetry::Registry::global().setEnabled(true);
+            ctx.cache =
+                std::make_unique<artifact::ArtifactCache>(ctx.cacheDir);
+            std::printf("[bench] artifact cache at %s\n",
+                        ctx.cache->dir().c_str());
+        }
+        // Always compile through the caching front-end: with no cache
+        // directory it still deduplicates identical in-flight sweep
+        // points (fig9's repeated base configs).
+        ctx.compiler = std::make_unique<artifact::CachingCompiler>(
+            ctx.cache.get());
+        return ctx;
+    }
+
+    /** Apply this context to a run configuration. */
+    void
+    configure(runtime::RunConfig &rc) const
+    {
+        rc.cachingCompiler = compiler.get();
+    }
+
+    /**
+     * Run `fn(i)` for every sweep point in [0, n) with bounded
+     * concurrency; fatal()s on the first failing point (a bench sweep
+     * has no partial-success story). Callers write results into
+     * index-addressed slots and emit rows afterwards, in order.
+     */
+    void
+    forEach(size_t n, const std::string &prefix,
+            const std::function<void(size_t)> &fn) const
+    {
+        jobs::BatchOptions opt;
+        opt.threads = threads;
+        auto report = jobs::forEachIndex(n, prefix, fn, opt);
+        if (!report.allOk())
+            fatal("bench sweep '", prefix,
+                  "' failed: ", report.firstError());
+    }
+
+    /** Print cache counters after a sweep (no-op without --cache). */
+    void
+    reportCache() const
+    {
+        if (!useCache)
+            return;
+        auto &reg = telemetry::Registry::global();
+        std::printf("[bench] cache: %llu hits, %llu misses, %llu "
+                    "stored\n",
+                    static_cast<unsigned long long>(
+                        reg.counter("artifact.cache.hit")),
+                    static_cast<unsigned long long>(
+                        reg.counter("artifact.cache.miss")),
+                    static_cast<unsigned long long>(
+                        reg.counter("artifact.cache.store")));
+    }
+};
 
 /**
  * Streaming collector for the machine-readable companion of each

@@ -40,36 +40,55 @@ const Knob kKnobs[] = {
 };
 
 runtime::RunOutcome
-run(const workloads::Workload &w, const compiler::CompilerOptions &opt)
+run(const BenchContext &ctx, const workloads::Workload &w,
+    const compiler::CompilerOptions &opt)
 {
     runtime::RunConfig rc;
     rc.compiler = opt;
+    ctx.configure(rc);
     return runtime::runWorkload(w, rc);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchContext ctx = BenchContext::parse(argc, argv);
     banner("Fig. 10: per-optimization effectiveness "
            "(values normalized to the all-optimizations build; "
            "runtime > 1 means disabling the optimization slows the "
            "app down, resource > 1 means it saves resources)");
 
-    BenchJson out("fig10");
-    for (const std::string name :
-         {"mlp", "lstm", "bs", "gda", "ms", "sort", "pr", "rf"}) {
+    const std::vector<std::string> apps = {"mlp", "lstm", "bs", "gda",
+                                           "ms",  "sort", "pr", "rf"};
+    constexpr size_t kRuns = 1 + std::size(kKnobs); // ref + each knob.
+
+    // All (app, knob) sweep points run in parallel; the reference run
+    // each app normalizes against is just point 0 of its stripe.
+    std::vector<workloads::Workload> ws(apps.size());
+    for (size_t a = 0; a < apps.size(); ++a) {
         workloads::WorkloadConfig cfg;
         cfg.par = 64;
-        if (name == "bs" || name == "ms")
+        if (apps[a] == "bs" || apps[a] == "ms")
             cfg.scale = 4;
-        auto w = workloads::buildByName(name, cfg);
+        ws[a] = workloads::buildByName(apps[a], cfg);
+    }
+    std::vector<runtime::RunOutcome> results(apps.size() * kRuns);
+    ctx.forEach(results.size(), "fig10", [&](size_t i) {
+        compiler::CompilerOptions opt;
+        opt.spec = arch::PlasticineSpec::paper();
+        opt.pnrIterations = 2000;
+        size_t k = i % kRuns;
+        if (k > 0)
+            kKnobs[k - 1].disable(opt);
+        results[i] = run(ctx, ws[i / kRuns], opt);
+    });
 
-        compiler::CompilerOptions base;
-        base.spec = arch::PlasticineSpec::paper();
-        base.pnrIterations = 2000;
-        auto ref = run(w, base);
+    BenchJson out("fig10");
+    for (size_t a = 0; a < apps.size(); ++a) {
+        const std::string &name = apps[a];
+        const auto &ref = results[a * kRuns];
 
         Table t({"disabled opt", "runtime x", "resource x", "tokens",
                  "cycles"});
@@ -84,10 +103,9 @@ main()
             .kv("tokens", ref.compiled.lowering.stats.tokens)
             .kv("cycles", ref.sim.cycles)
             .endRow();
-        for (const auto &knob : kKnobs) {
-            auto opt = base;
-            knob.disable(opt);
-            auto r = run(w, opt);
+        for (size_t k = 0; k < std::size(kKnobs); ++k) {
+            const auto &knob = kKnobs[k];
+            const auto &r = results[a * kRuns + 1 + k];
             double rt = static_cast<double>(r.sim.cycles) /
                         static_cast<double>(ref.sim.cycles);
             double res =
@@ -108,5 +126,6 @@ main()
         std::printf("-- %s --\n%s", name.c_str(), t.str().c_str());
     }
     out.write();
+    ctx.reportCache();
     return 0;
 }

@@ -18,44 +18,51 @@ using namespace sara;
 using namespace sara::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchContext ctx = BenchContext::parse(argc, argv);
     banner("Fig. 11: traversal vs solver partitioning/merging");
     using compiler::PartitionAlgo;
     const PartitionAlgo algos[] = {
         PartitionAlgo::BfsFwd, PartitionAlgo::BfsBwd,
         PartitionAlgo::DfsFwd, PartitionAlgo::DfsBwd,
         PartitionAlgo::Solver};
+    const std::vector<std::string> apps = {"mlp", "lstm",   "bs",
+                                           "gda", "kmeans", "ms"};
+    constexpr size_t kAlgos = std::size(algos);
 
-    BenchJson out("fig11");
-    for (const std::string name : {"mlp", "lstm", "bs", "gda", "kmeans",
-                                   "ms"}) {
+    struct Row
+    {
+        PartitionAlgo algo;
+        int pcus = 0;
+        double partMs = 0.0;
+    };
+    // This figure *measures compile time*, so sweep points always
+    // compile fresh (a cached artifact would report zeroed phase
+    // times); -j still parallelizes the (app, algorithm) grid.
+    std::vector<Row> allRows(apps.size() * kAlgos);
+    ctx.forEach(allRows.size(), "fig11", [&](size_t i) {
         workloads::WorkloadConfig cfg;
         cfg.par = 64;
-        auto w = workloads::buildByName(name, cfg);
+        auto w = workloads::buildByName(apps[i / kAlgos], cfg);
+        compiler::CompilerOptions opt;
+        opt.spec = arch::PlasticineSpec::paper();
+        opt.partitioner = algos[i % kAlgos];
+        opt.pnrIterations = 500;
+        opt.solverIterations = 60000;
+        auto r = compiler::compile(w.program, opt);
+        allRows[i] = {opt.partitioner, r.resources.pcus,
+                      r.phaseMs("partition") + r.phaseMs("merge")};
+    });
 
-        struct Row
-        {
-            PartitionAlgo algo;
-            int pcus = 0;
-            double partMs = 0.0;
-        };
-        std::vector<Row> rows;
+    BenchJson out("fig11");
+    for (size_t a = 0; a < apps.size(); ++a) {
+        const std::string &name = apps[a];
+        std::vector<Row> rows(allRows.begin() + a * kAlgos,
+                              allRows.begin() + (a + 1) * kAlgos);
         int best = INT32_MAX;
-        for (auto algo : algos) {
-            compiler::CompilerOptions opt;
-            opt.spec = arch::PlasticineSpec::paper();
-            opt.partitioner = algo;
-            opt.pnrIterations = 500;
-            opt.solverIterations = 60000;
-            auto r = compiler::compile(w.program, opt);
-            Row row;
-            row.algo = algo;
-            row.pcus = r.resources.pcus;
-            row.partMs = r.phaseMs("partition") + r.phaseMs("merge");
+        for (const auto &row : rows)
             best = std::min(best, row.pcus);
-            rows.push_back(row);
-        }
         Table t({"algorithm", "PCUs", "normalized", "compile ms"});
         for (const auto &row : rows) {
             double norm =

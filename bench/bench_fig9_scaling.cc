@@ -19,7 +19,8 @@ using namespace sara::bench;
 namespace {
 
 runtime::RunOutcome
-run(const std::string &name, int par, bool allOpts = true)
+run(const BenchContext &ctx, const std::string &name, int par,
+    bool allOpts = true)
 {
     workloads::WorkloadConfig cfg;
     cfg.par = par;
@@ -36,20 +37,32 @@ run(const std::string &name, int par, bool allOpts = true)
         rc.compiler.enableMultibuffer = false;
         rc.compiler.enableControlReduction = false;
     }
+    ctx.configure(rc);
     return runtime::runWorkload(w, rc);
 }
 
 void
-fig9a(BenchJson &out)
+fig9a(const BenchContext &ctx, BenchJson &out)
 {
     banner("Fig. 9a: performance & resource scaling vs par factor");
     const std::vector<int> pars = {1, 2, 4, 8, 16, 32, 64, 128, 192, 256};
-    for (const std::string name : {"mlp", "rf"}) {
+    const std::vector<std::string> apps = {"mlp", "rf"};
+
+    // Sweep points run in parallel; rows are emitted in order below.
+    std::vector<runtime::RunOutcome> results(apps.size() * pars.size());
+    ctx.forEach(results.size(), "fig9a", [&](size_t i) {
+        results[i] =
+            run(ctx, apps[i / pars.size()], pars[i % pars.size()]);
+    });
+
+    for (size_t a = 0; a < apps.size(); ++a) {
+        const std::string &name = apps[a];
         Table t({"par", "cycles", "speedup", "PCUs", "PMUs", "AGs",
                  "DRAM GB/s", "fits"});
         double base = 0.0;
-        for (int par : pars) {
-            auto r = run(name, par);
+        for (size_t p = 0; p < pars.size(); ++p) {
+            int par = pars[p];
+            const auto &r = results[a * pars.size() + p];
             if (base == 0.0)
                 base = static_cast<double>(r.sim.cycles);
             t.addRow({std::to_string(par), std::to_string(r.sim.cycles),
@@ -77,7 +90,7 @@ fig9a(BenchJson &out)
 }
 
 void
-fig9b(BenchJson &out)
+fig9b(const BenchContext &ctx, BenchJson &out)
 {
     banner("Fig. 9b: performance-resource trade-off (Pareto frontier)");
     const std::vector<int> pars = {1, 4, 16, 64, 128, 256};
@@ -89,13 +102,14 @@ fig9b(BenchJson &out)
             uint64_t cycles;
             int resources;
         };
-        std::vector<Point> pts;
-        for (int par : pars)
-            for (bool opts : {true, false}) {
-                auto r = run(name, par, opts);
-                pts.push_back({par, opts, r.sim.cycles,
-                               r.compiled.resources.total()});
-            }
+        std::vector<Point> pts(pars.size() * 2);
+        ctx.forEach(pts.size(), "fig9b-" + name, [&](size_t i) {
+            int par = pars[i / 2];
+            bool opts = i % 2 == 0;
+            auto r = run(ctx, name, par, opts);
+            pts[i] = {par, opts, r.sim.cycles,
+                      r.compiled.resources.total()};
+        });
         Table t({"par", "opts", "cycles", "total PUs", "pareto"});
         for (const auto &pt : pts) {
             bool dominated = false;
@@ -126,11 +140,13 @@ fig9b(BenchJson &out)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchContext ctx = BenchContext::parse(argc, argv);
     BenchJson out("fig9");
-    fig9a(out);
-    fig9b(out);
+    fig9a(ctx, out);
+    fig9b(ctx, out);
     out.write();
+    ctx.reportCache();
     return 0;
 }

@@ -1,0 +1,89 @@
+#ifndef SARA_ARTIFACT_ARTIFACT_H
+#define SARA_ARTIFACT_ARTIFACT_H
+
+/**
+ * @file
+ * Serializable compiled programs. SARA's compile pipeline is
+ * deliberately expensive (solver-based partitioning, PnR); the service
+ * model is compile-once / run-many, so the full compilation output —
+ * post-unroll program, post-PnR VUDFG with CMMC token/credit wiring,
+ * memory banking and placement, resource report — round-trips through
+ * a versioned binary format.
+ *
+ * Container layout:
+ *
+ *   8   magic "SARAART1"
+ *   4   format version (u32 LE)
+ *   key (length-prefixed content key of the producing compile)
+ *   8   payload size (u64 LE)
+ *   32  SHA-256 of the payload
+ *   payload (encoded CompileResult)
+ *
+ * Corruption anywhere — bad magic, version skew, size or checksum
+ * mismatch, truncation, trailing bytes — raises ArtifactError; callers
+ * (the cache, sarac --load-artifact) degrade to a fresh compile.
+ *
+ * Artifacts are deterministic: encoding the result of compiling the
+ * same (program, options) twice yields byte-identical buffers. Span
+ * wall-clock times are zeroed at encode time to keep that property;
+ * span names/depths/stats (which are pure functions of the input) are
+ * preserved.
+ */
+
+#include <string>
+
+#include "artifact/serialize.h"
+#include "compiler/driver.h"
+#include "compiler/options.h"
+#include "ir/program.h"
+
+namespace sara::artifact {
+
+/** Bumped whenever any encoding below changes shape. Participates in
+ *  content keys, so stale cache entries self-invalidate. */
+inline constexpr uint32_t kFormatVersion = 1;
+
+// --- Component codecs (exposed for tests) ---
+void encodeProgram(Encoder &e, const ir::Program &p);
+ir::Program decodeProgram(Decoder &d);
+
+void encodeGraph(Encoder &e, const dfg::Vudfg &g);
+dfg::Vudfg decodeGraph(Decoder &d);
+
+/** Canonical encoding of every compiler knob incl. the arch spec. */
+void encodeOptions(Encoder &e, const compiler::CompilerOptions &opt);
+
+/**
+ * Content-addressed cache key: SHA-256 over (format version, workload
+ * IR, CompilerOptions, arch config), as 64 hex chars. Identical inputs
+ * hash identically across processes and machines.
+ */
+std::string contentKey(const ir::Program &input,
+                       const compiler::CompilerOptions &opt);
+
+/** Encode / decode a full compilation output (the artifact payload). */
+std::string encodeCompileResult(const compiler::CompileResult &r);
+compiler::CompileResult decodeCompileResult(const std::string &payload);
+
+/** A parsed artifact container. */
+struct LoadedArtifact
+{
+    std::string key; ///< Content key recorded by the producer.
+    compiler::CompileResult result;
+};
+
+/** Wrap a compile result in the versioned, checksummed container. */
+std::string packArtifact(const std::string &key,
+                         const compiler::CompileResult &r);
+/** Parse + verify a container; throws ArtifactError on corruption. */
+LoadedArtifact unpackArtifact(const std::string &bytes);
+
+/** File convenience wrappers. Reader throws ArtifactError on any I/O
+ *  or integrity failure; writer replaces atomically (tmp + rename). */
+void writeArtifactFile(const std::string &path, const std::string &key,
+                       const compiler::CompileResult &r);
+LoadedArtifact readArtifactFile(const std::string &path);
+
+} // namespace sara::artifact
+
+#endif // SARA_ARTIFACT_ARTIFACT_H

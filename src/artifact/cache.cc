@@ -1,0 +1,230 @@
+#include "artifact/cache.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <vector>
+
+#include "support/logging.h"
+#include "support/telemetry.h"
+
+namespace sara::artifact {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void
+count(const char *name)
+{
+    telemetry::Registry::global().add(name);
+}
+
+std::string
+resolveDir(std::string dir)
+{
+    if (!dir.empty())
+        return dir;
+    if (const char *env = std::getenv("SARA_CACHE_DIR"); env && *env)
+        return env;
+    if (const char *home = std::getenv("HOME"); home && *home)
+        return std::string(home) + "/.sara-cache";
+    return ".sara-cache";
+}
+
+} // namespace
+
+ArtifactCache::ArtifactCache(std::string dir, uint64_t maxBytes)
+    : dir_(resolveDir(std::move(dir))), maxBytes_(maxBytes)
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        warn("artifact cache: cannot create ", dir_, ": ",
+             ec.message());
+}
+
+std::string
+ArtifactCache::pathFor(const std::string &key) const
+{
+    return dir_ + "/" + key + ".sara";
+}
+
+std::optional<compiler::CompileResult>
+ArtifactCache::lookup(const std::string &key)
+{
+    std::string path = pathFor(key);
+    std::error_code ec;
+    if (!fs::exists(path, ec)) {
+        count("artifact.cache.miss");
+        return std::nullopt;
+    }
+    try {
+        LoadedArtifact art = readArtifactFile(path);
+        if (art.key != key)
+            throw ArtifactError("artifact: stored key mismatch");
+        count("artifact.cache.hit");
+        // Touch for LRU eviction ordering.
+        fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+        debug("artifact cache hit: ", key);
+        return std::move(art.result);
+    } catch (const ArtifactError &err) {
+        warn("artifact cache: dropping corrupt entry ", path, " (",
+             err.what(), ")");
+        count("artifact.cache.corrupt");
+        count("artifact.cache.miss");
+        fs::remove(path, ec);
+        return std::nullopt;
+    }
+}
+
+void
+ArtifactCache::store(const std::string &key,
+                     const compiler::CompileResult &r)
+{
+    try {
+        writeArtifactFile(pathFor(key), key, r);
+        count("artifact.cache.store");
+        debug("artifact cache store: ", key);
+    } catch (const ArtifactError &err) {
+        warn("artifact cache: store failed: ", err.what());
+        count("artifact.cache.store_failed");
+        return;
+    }
+    if (maxBytes_ > 0)
+        trim(maxBytes_);
+}
+
+bool
+ArtifactCache::contains(const std::string &key) const
+{
+    std::error_code ec;
+    return fs::exists(pathFor(key), ec);
+}
+
+int
+ArtifactCache::trim(uint64_t maxBytes)
+{
+    struct Entry
+    {
+        fs::path path;
+        fs::file_time_type mtime;
+        uint64_t size;
+    };
+    std::vector<Entry> entries;
+    uint64_t total = 0;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(dir_, ec)) {
+        if (!de.is_regular_file(ec) ||
+            de.path().extension() != ".sara")
+            continue;
+        Entry en{de.path(), de.last_write_time(ec),
+                 de.file_size(ec)};
+        total += en.size;
+        entries.push_back(std::move(en));
+    }
+    if (total <= maxBytes)
+        return 0;
+    // Oldest first: LRU because hits re-touch their entry.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime < b.mtime;
+              });
+    int evicted = 0;
+    for (const auto &en : entries) {
+        if (total <= maxBytes)
+            break;
+        if (fs::remove(en.path, ec)) {
+            total -= en.size;
+            ++evicted;
+            count("artifact.cache.evict");
+            debug("artifact cache evict: ", en.path.string());
+        }
+    }
+    return evicted;
+}
+
+int
+ArtifactCache::clear()
+{
+    int removed = 0;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(dir_, ec)) {
+        if (de.path().extension() != ".sara")
+            continue;
+        if (fs::remove(de.path(), ec))
+            ++removed;
+    }
+    return removed;
+}
+
+// ---------------------------------------------------------------------------
+// CachingCompiler
+// ---------------------------------------------------------------------------
+
+CachingCompiler::Compiled
+CachingCompiler::compile(const ir::Program &input,
+                         const compiler::CompilerOptions &options)
+{
+    std::string key = contentKey(input, options);
+
+    // Fast path: already on disk.
+    if (cache_) {
+        if (auto hit = cache_->lookup(key))
+            return {std::move(*hit), key, /*fromCache=*/true,
+                    /*deduped=*/false};
+    }
+
+    // Claim the key or join the thread already compiling it.
+    std::promise<Shared> promise;
+    std::shared_future<Shared> future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = inflight_.find(key);
+        if (it == inflight_.end()) {
+            future = promise.get_future().share();
+            inflight_.emplace(key, future);
+            owner = true;
+        } else {
+            future = it->second;
+        }
+    }
+
+    if (!owner) {
+        telemetry::Registry::global().add("jobs.compile.deduped");
+        Shared shared = future.get();
+        if (!shared)
+            // The owner failed; surface the same error by recompiling
+            // (rare path, and errors must not be silently swallowed).
+            return {compiler::compile(input, options), key, false,
+                    true};
+        Compiled out = *shared;
+        out.deduped = true;
+        out.fromCache = false;
+        return out;
+    }
+
+    Compiled out;
+    out.key = key;
+    try {
+        out.result = compiler::compile(input, options);
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            inflight_.erase(key);
+        }
+        promise.set_value(nullptr);
+        throw;
+    }
+    if (cache_)
+        cache_->store(key, out.result);
+    promise.set_value(std::make_shared<Compiled>(out));
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        inflight_.erase(key);
+    }
+    return out;
+}
+
+} // namespace sara::artifact

@@ -1,0 +1,119 @@
+#ifndef SARA_ARTIFACT_CACHE_H
+#define SARA_ARTIFACT_CACHE_H
+
+/**
+ * @file
+ * Content-addressed on-disk compile cache plus the cache-aware compile
+ * front-end the runtime and batch runner share.
+ *
+ * Layout: one `<key>.sara` artifact per compiled (workload IR,
+ * CompilerOptions, arch config) triple under the cache directory
+ * (default `~/.sara-cache`, overridable via SARA_CACHE_DIR or
+ * `--cache-dir`). Keys are SHA-256 content hashes, so a changed input
+ * or a bumped format version simply misses — no explicit invalidation
+ * protocol. Corrupt entries are detected by the artifact checksum,
+ * counted, deleted, and treated as misses.
+ *
+ * Telemetry (Registry::global(), when enabled):
+ *   artifact.cache.hit / .miss / .store / .corrupt / .evict
+ *   jobs.compile.deduped (CachingCompiler in-flight dedup)
+ *
+ * CachingCompiler is thread-safe: concurrent compiles of *different*
+ * keys proceed in parallel; concurrent compiles of the *same* key are
+ * deduplicated — one thread compiles, the rest block on its result.
+ */
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "artifact/artifact.h"
+
+namespace sara::artifact {
+
+/** On-disk cache of compiled artifacts keyed by content hash. */
+class ArtifactCache
+{
+  public:
+    /**
+     * Open (and create if needed) the cache at `dir`. Empty `dir`
+     * resolves to $SARA_CACHE_DIR, then $HOME/.sara-cache, then
+     * ./.sara-cache. `maxBytes` bounds the directory; exceeding it on
+     * store evicts least-recently-used entries (0 = unbounded).
+     */
+    explicit ArtifactCache(std::string dir = "",
+                           uint64_t maxBytes = 4ULL << 30);
+
+    const std::string &dir() const { return dir_; }
+
+    /** Filesystem path an artifact with `key` would live at. */
+    std::string pathFor(const std::string &key) const;
+
+    /**
+     * Look up `key`. Returns the decoded result on a hit; nullopt on
+     * miss. Corrupt or version-skewed entries are deleted and counted
+     * as misses — the caller recompiles and re-stores.
+     */
+    std::optional<compiler::CompileResult>
+    lookup(const std::string &key);
+
+    /** Persist a compiled result under `key` (best-effort: failures
+     *  warn and are counted, never thrown — the compile already
+     *  succeeded and the caller holds the result). */
+    void store(const std::string &key, const compiler::CompileResult &r);
+
+    /** Whether `key` is present (no decode, no counters). */
+    bool contains(const std::string &key) const;
+
+    /** Evict least-recently-used entries until the directory is under
+     *  `maxBytes`. Returns the number of entries removed. */
+    int trim(uint64_t maxBytes);
+
+    /** Remove every cache entry. Returns the number removed. */
+    int clear();
+
+  private:
+    std::string dir_;
+    uint64_t maxBytes_;
+};
+
+/**
+ * Cache-aware, deduplicating compile service. Stateless users call
+ * compile(); everything else (key derivation, cache probe, in-flight
+ * dedup, store-back) is handled here.
+ */
+class CachingCompiler
+{
+  public:
+    /** `cache` may be null (dedup-only mode). Not owned. */
+    explicit CachingCompiler(ArtifactCache *cache) : cache_(cache) {}
+
+    struct Compiled
+    {
+        compiler::CompileResult result;
+        std::string key;
+        bool fromCache = false; ///< Served from disk, not compiled.
+        bool deduped = false;   ///< Waited on an identical in-flight job.
+    };
+
+    /** Compile (or fetch) `input` under `options`. Thread-safe. */
+    Compiled compile(const ir::Program &input,
+                     const compiler::CompilerOptions &options);
+
+    ArtifactCache *cache() const { return cache_; }
+
+  private:
+    using Shared = std::shared_ptr<Compiled>;
+
+    ArtifactCache *cache_;
+    std::mutex mu_;
+    std::unordered_map<std::string, std::shared_future<Shared>>
+        inflight_;
+};
+
+} // namespace sara::artifact
+
+#endif // SARA_ARTIFACT_CACHE_H

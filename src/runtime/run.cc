@@ -14,7 +14,18 @@ RunOutcome
 runWorkload(const workloads::Workload &w, const RunConfig &config)
 {
     RunOutcome out;
-    out.compiled = compiler::compile(w.program, config.compiler);
+    if (config.preCompiled) {
+        out.compiled = *config.preCompiled;
+        out.fromCache = true;
+    } else if (config.cachingCompiler) {
+        auto compiled =
+            config.cachingCompiler->compile(w.program, config.compiler);
+        out.compiled = std::move(compiled.result);
+        out.fromCache = compiled.fromCache;
+        out.artifactKey = std::move(compiled.key);
+    } else {
+        out.compiled = compiler::compile(w.program, config.compiler);
+    }
 
     // Merge the compile phases into the simulator's trace timeline
     // (one unified Chrome-trace file per run).
@@ -89,6 +100,9 @@ jsonReport(const workloads::Workload &w, const RunConfig &config,
 
     j.key("compile").beginObject();
     j.kv("total_ms", r.compiled.totalMs());
+    j.kv("from_cache", r.fromCache);
+    if (!r.artifactKey.empty())
+        j.kv("artifact_key", r.artifactKey);
     j.key("phases").beginArray();
     for (const auto &span : r.compiled.phases) {
         j.beginObject();

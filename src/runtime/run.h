@@ -11,6 +11,7 @@
 
 #include <string>
 
+#include "artifact/cache.h"
 #include "compiler/driver.h"
 #include "dram/dram.h"
 #include "sim/simulator.h"
@@ -25,6 +26,20 @@ struct RunConfig
     /** Validate final memory against the sequential interpreter. */
     bool check = false;
     sim::SimOptions sim;
+    /**
+     * Cache-aware compile front-end. When set, runWorkload probes the
+     * artifact cache before invoking compileProgram and stores fresh
+     * compiles back; identical in-flight compiles across batch threads
+     * are deduplicated. Not owned — must outlive the run (shared by
+     * every job of a batch).
+     */
+    artifact::CachingCompiler *cachingCompiler = nullptr;
+    /**
+     * Pre-compiled artifact to simulate instead of compiling (set by
+     * `sarac --load-artifact`). Not owned. Takes precedence over
+     * cachingCompiler.
+     */
+    const compiler::CompileResult *preCompiled = nullptr;
 };
 
 struct RunOutcome
@@ -33,6 +48,8 @@ struct RunOutcome
     sim::SimResult sim;
     bool checked = false;
     bool correct = true;
+    bool fromCache = false;     ///< Compile served from the artifact cache.
+    std::string artifactKey;    ///< Content key (empty: cache not used).
 
     /** Runtime at the 1 GHz Plasticine clock. */
     double timeUs() const

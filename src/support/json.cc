@@ -220,10 +220,42 @@ Value::at(const std::string &key) const
 
 namespace {
 
+/** Containers nested deeper than this are rejected: the recursive
+ *  parser would otherwise turn adversarial input (`[[[[...`) into a
+ *  stack overflow instead of a clean error. */
+constexpr int kMaxDepth = 256;
+
 struct Parser
 {
+    const char *begin;
     const char *p;
     const char *end;
+    int depth = 0;
+
+    /** 1-based line:column of `at`, for error messages. */
+    std::string
+    pos(const char *at) const
+    {
+        int line = 1, col = 1;
+        for (const char *q = begin; q < at; ++q) {
+            if (*q == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        return "line " + std::to_string(line) + ", column " +
+               std::to_string(col);
+    }
+
+    /** All parse errors funnel through here so every diagnosis carries
+     *  the offending position. Throws FatalError. */
+    [[noreturn]] void
+    fail(const std::string &msg, const char *at = nullptr) const
+    {
+        fatal("json: ", msg, " at ", pos(at ? at : p));
+    }
 
     void
     skipWs()
@@ -238,7 +270,7 @@ struct Parser
     {
         skipWs();
         if (p >= end)
-            fatal("json: unexpected end of input");
+            fail("unexpected end of input");
         return *p;
     }
 
@@ -246,7 +278,7 @@ struct Parser
     expect(char c)
     {
         if (peek() != c)
-            fatal("json: expected '", c, "', got '", *p, "'");
+            fail(std::string("expected '") + c + "', got '" + *p + "'");
         ++p;
     }
 
@@ -260,6 +292,48 @@ struct Parser
         return false;
     }
 
+    unsigned
+    hex4()
+    {
+        if (end - p < 4)
+            fail("truncated \\u escape");
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            char h = *p++;
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+                code += h - '0';
+            else if (h >= 'a' && h <= 'f')
+                code += h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F')
+                code += h - 'A' + 10;
+            else
+                fail("bad \\u escape", p - 1);
+        }
+        return code;
+    }
+
+    /** Append `code` (a Unicode scalar value) to `out` as UTF-8. */
+    static void
+    appendUtf8(std::string &out, unsigned code)
+    {
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else if (code < 0x10000) {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+    }
+
     std::string
     parseString()
     {
@@ -268,11 +342,15 @@ struct Parser
         while (p < end && *p != '"') {
             char c = *p++;
             if (c != '\\') {
+                if (static_cast<unsigned char>(c) < 0x20)
+                    fail("unescaped control character in string",
+                         p - 1);
                 out += c;
                 continue;
             }
             if (p >= end)
-                fatal("json: dangling escape");
+                fail("dangling escape");
+            const char *escAt = p - 1;
             char esc = *p++;
             switch (esc) {
               case '"': out += '"'; break;
@@ -284,32 +362,69 @@ struct Parser
               case 'b': out += '\b'; break;
               case 'f': out += '\f'; break;
               case 'u': {
-                if (end - p < 4)
-                    fatal("json: truncated \\u escape");
-                unsigned code = 0;
-                for (int i = 0; i < 4; ++i) {
-                    char h = *p++;
-                    code <<= 4;
-                    if (h >= '0' && h <= '9')
-                        code += h - '0';
-                    else if (h >= 'a' && h <= 'f')
-                        code += h - 'a' + 10;
-                    else if (h >= 'A' && h <= 'F')
-                        code += h - 'A' + 10;
-                    else
-                        fatal("json: bad \\u escape");
+                unsigned code = hex4();
+                if (code >= 0xD800 && code <= 0xDBFF) {
+                    // High surrogate: must pair with \uDC00-\uDFFF.
+                    if (end - p < 2 || p[0] != '\\' || p[1] != 'u')
+                        fail("unpaired surrogate", escAt);
+                    p += 2;
+                    unsigned low = hex4();
+                    if (low < 0xDC00 || low > 0xDFFF)
+                        fail("bad low surrogate", escAt);
+                    code = 0x10000 + ((code - 0xD800) << 10) +
+                           (low - 0xDC00);
+                } else if (code >= 0xDC00 && code <= 0xDFFF) {
+                    fail("unpaired surrogate", escAt);
                 }
-                // Reports only ever escape control characters; emit
-                // the low byte (sufficient for ASCII round trips).
-                out += static_cast<char>(code < 0x80 ? code : '?');
+                appendUtf8(out, code);
                 break;
               }
               default:
-                fatal("json: unknown escape \\", esc);
+                fail(std::string("unknown escape \\") + esc, escAt);
             }
         }
         expect('"');
         return out;
+    }
+
+    /**
+     * Numbers are validated against the JSON grammar before strtod so
+     * the C library's extensions (nan, inf, 0x1p3, leading '+') are
+     * rejected — a report with a NaN in it should fail loudly at the
+     * producer, not parse quietly at the consumer.
+     */
+    double
+    parseNumber()
+    {
+        const char *start = p;
+        if (p < end && *p == '-')
+            ++p;
+        if (p >= end || *p < '0' || *p > '9')
+            fail("bad number", start);
+        if (*p == '0') {
+            ++p; // A leading zero may not be followed by digits.
+        } else {
+            while (p < end && *p >= '0' && *p <= '9')
+                ++p;
+        }
+        if (p < end && *p == '.') {
+            ++p;
+            if (p >= end || *p < '0' || *p > '9')
+                fail("bad number: expected digits after '.'", start);
+            while (p < end && *p >= '0' && *p <= '9')
+                ++p;
+        }
+        if (p < end && (*p == 'e' || *p == 'E')) {
+            ++p;
+            if (p < end && (*p == '+' || *p == '-'))
+                ++p;
+            if (p >= end || *p < '0' || *p > '9')
+                fail("bad number: empty exponent", start);
+            while (p < end && *p >= '0' && *p <= '9')
+                ++p;
+        }
+        std::string token(start, p);
+        return std::strtod(token.c_str(), nullptr);
     }
 
     Value
@@ -318,17 +433,26 @@ struct Parser
         Value v;
         char c = peek();
         if (c == '{') {
+            if (++depth > kMaxDepth)
+                fail("nesting deeper than " +
+                     std::to_string(kMaxDepth));
             ++p;
             v.kind = Value::Kind::Object;
             if (!consume('}')) {
                 do {
+                    if (peek() != '"')
+                        fail("expected object key");
                     std::string key = parseString();
                     expect(':');
                     v.obj.emplace_back(std::move(key), parseValue());
                 } while (consume(','));
                 expect('}');
             }
+            --depth;
         } else if (c == '[') {
+            if (++depth > kMaxDepth)
+                fail("nesting deeper than " +
+                     std::to_string(kMaxDepth));
             ++p;
             v.kind = Value::Kind::Array;
             if (!consume(']')) {
@@ -337,6 +461,7 @@ struct Parser
                 } while (consume(','));
                 expect(']');
             }
+            --depth;
         } else if (c == '"') {
             v.kind = Value::Kind::String;
             v.str = parseString();
@@ -345,22 +470,19 @@ struct Parser
             size_t len = std::strlen(word);
             if (static_cast<size_t>(end - p) < len ||
                 std::strncmp(p, word, len) != 0)
-                fatal("json: bad literal");
+                fail("bad literal");
             p += len;
             v.kind = Value::Kind::Bool;
             v.boolean = c == 't';
         } else if (c == 'n') {
             if (end - p < 4 || std::strncmp(p, "null", 4) != 0)
-                fatal("json: bad literal");
+                fail("bad literal");
             p += 4;
-        } else {
-            char *after = nullptr;
-            v.num = std::strtod(p, &after);
-            if (after == p)
-                fatal("json: bad number at '",
-                      std::string(p, std::min<size_t>(8, end - p)), "'");
+        } else if (c == '-' || (c >= '0' && c <= '9')) {
+            v.num = parseNumber();
             v.kind = Value::Kind::Number;
-            p = after;
+        } else {
+            fail(std::string("unexpected character '") + c + "'");
         }
         return v;
     }
@@ -371,11 +493,11 @@ struct Parser
 Value
 parse(const std::string &text)
 {
-    Parser parser{text.data(), text.data() + text.size()};
+    Parser parser{text.data(), text.data(), text.data() + text.size()};
     Value v = parser.parseValue();
     parser.skipWs();
     if (parser.p != parser.end)
-        fatal("json: trailing garbage after document");
+        parser.fail("trailing garbage after document");
     return v;
 }
 

@@ -96,7 +96,15 @@ struct Value
     const Value &at(const std::string &key) const;
 };
 
-/** Parse a complete JSON document; fatal()s on malformed input. */
+/**
+ * Parse a complete JSON document; fatal()s on malformed input with the
+ * offending line:column in the message. Strict where it matters:
+ * numbers must match the JSON grammar (nan/inf/hex literals are
+ * rejected), \uXXXX escapes decode to UTF-8 (surrogate pairs
+ * included), unescaped control characters in strings are errors, and
+ * nesting is capped at 256 levels so hostile input can't blow the
+ * parser's stack.
+ */
 Value parse(const std::string &text);
 
 } // namespace sara::json

@@ -35,6 +35,7 @@ Registry::global()
 uint64_t
 Registry::counter(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
 }
@@ -42,6 +43,7 @@ Registry::counter(const std::string &name) const
 double
 Registry::gauge(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = gauges_.find(name);
     return it == gauges_.end() ? 0.0 : it->second;
 }
@@ -49,6 +51,7 @@ Registry::gauge(const std::string &name) const
 void
 Registry::clear()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     counters_.clear();
     gauges_.clear();
 }

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -33,6 +34,11 @@ namespace sara::telemetry {
 // Registry: named counters and gauges.
 // ---------------------------------------------------------------------------
 
+/**
+ * Thread-safe when enabled: mutations take an internal lock so
+ * parallel batch jobs (src/jobs) can bump shared counters. The
+ * disabled fast path stays a single unsynchronized branch.
+ */
 class Registry
 {
   public:
@@ -46,16 +52,20 @@ class Registry
     void
     add(const std::string &name, uint64_t delta = 1)
     {
-        if (enabled_)
-            counters_[name] += delta;
+        if (!enabled_)
+            return;
+        std::lock_guard<std::mutex> lock(mu_);
+        counters_[name] += delta;
     }
 
     /** Set a named gauge to its latest value (no-op when disabled). */
     void
     set(const std::string &name, double value)
     {
-        if (enabled_)
-            gauges_[name] = value;
+        if (!enabled_)
+            return;
+        std::lock_guard<std::mutex> lock(mu_);
+        gauges_[name] = value;
     }
 
     /** Track a gauge's maximum (no-op when disabled). */
@@ -64,6 +74,7 @@ class Registry
     {
         if (!enabled_)
             return;
+        std::lock_guard<std::mutex> lock(mu_);
         auto it = gauges_.find(name);
         if (it == gauges_.end() || it->second < value)
             gauges_[name] = value;
@@ -72,6 +83,8 @@ class Registry
     uint64_t counter(const std::string &name) const;
     double gauge(const std::string &name) const;
 
+    /** Direct views — only safe once concurrent writers have quiesced
+     *  (e.g. after a batch drains); use counter()/gauge() otherwise. */
     const std::map<std::string, uint64_t> &counters() const
     {
         return counters_;
@@ -85,6 +98,7 @@ class Registry
 
   private:
     bool enabled_ = false;
+    mutable std::mutex mu_;
     std::map<std::string, uint64_t> counters_;
     std::map<std::string, double> gauges_;
 };

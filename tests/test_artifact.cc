@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Artifact subsystem tests: lossless round-trips of compiled programs
+ * (byte-level, textual, and — the bar that matters — cycle-for-cycle
+ * identical simulation), deterministic re-compilation and content
+ * keys, container corruption detection, and the on-disk cache
+ * (hit/miss/corrupt counters, LRU trim).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "artifact/artifact.h"
+#include "artifact/cache.h"
+#include "sim/simulator.h"
+#include "support/hash.h"
+#include "support/telemetry.h"
+#include "workloads/workload.h"
+
+namespace sara {
+namespace {
+
+namespace fs = std::filesystem;
+
+compiler::CompilerOptions
+testOptions()
+{
+    compiler::CompilerOptions opt;
+    opt.spec = arch::PlasticineSpec::paper();
+    opt.pnrIterations = 200;
+    return opt;
+}
+
+/** Simulate a compiled result the way runtime::runWorkload does. */
+sim::SimResult
+simulate(const workloads::Workload &w, const compiler::CompileResult &r)
+{
+    sim::Simulator simulator(r.program, r.lowering.graph,
+                             dram::DramSpec::hbm2(), {});
+    for (const auto &[tid, data] : w.dramInputs)
+        simulator.setDramTensor(ir::TensorId(tid), data);
+    return simulator.run();
+}
+
+/** A scratch directory wiped on destruction. */
+struct TempDir
+{
+    fs::path path;
+    explicit TempDir(const std::string &name)
+        : path(fs::temp_directory_path() / name)
+    {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+};
+
+// --- Round trips -----------------------------------------------------------
+
+TEST(Artifact, ProgramRoundTripsTextually)
+{
+    workloads::WorkloadConfig cfg;
+    cfg.par = 8;
+    for (const auto &name : workloads::workloadNames()) {
+        auto w = workloads::buildByName(name, cfg);
+        artifact::Encoder e;
+        artifact::encodeProgram(e, w.program);
+        artifact::Decoder d(e.buffer());
+        ir::Program back = artifact::decodeProgram(d);
+        d.expectEnd();
+        EXPECT_EQ(w.program.str(), back.str()) << name;
+    }
+}
+
+TEST(Artifact, CompileResultRoundTripIsCycleIdentical)
+{
+    // The acceptance bar: for every registered workload, simulating
+    // the decoded artifact must be indistinguishable from simulating
+    // the original compile.
+    workloads::WorkloadConfig cfg;
+    cfg.par = 8;
+    auto opt = testOptions();
+    for (const auto &name : workloads::workloadNames()) {
+        auto w = workloads::buildByName(name, cfg);
+        auto r = compiler::compile(w.program, opt);
+
+        std::string payload = artifact::encodeCompileResult(r);
+        auto back = artifact::decodeCompileResult(payload);
+
+        EXPECT_EQ(r.program.str(), back.program.str()) << name;
+        EXPECT_EQ(r.lowering.graph.str(), back.lowering.graph.str())
+            << name;
+        EXPECT_EQ(r.resources.str(), back.resources.str()) << name;
+        EXPECT_EQ(r.partitionsCreated, back.partitionsCreated) << name;
+        EXPECT_EQ(r.unitsMerged, back.unitsMerged) << name;
+
+        auto simA = simulate(w, r);
+        auto simB = simulate(w, back);
+        EXPECT_EQ(simA.cycles, simB.cycles) << name;
+        EXPECT_EQ(simA.totalFirings, simB.totalFirings) << name;
+        EXPECT_EQ(simA.flops, simB.flops) << name;
+        EXPECT_EQ(simA.dramBytes, simB.dramBytes) << name;
+        EXPECT_EQ(simA.dramRequests, simB.dramRequests) << name;
+        for (int c = 0; c < sim::kNumStallCauses; ++c)
+            EXPECT_EQ(simA.stallTotals[c], simB.stallTotals[c])
+                << name << " stall cause " << c;
+        ASSERT_EQ(simA.tensors.size(), simB.tensors.size()) << name;
+        for (size_t t = 0; t < simA.tensors.size(); ++t)
+            EXPECT_EQ(simA.tensors[t], simB.tensors[t])
+                << name << " tensor " << t;
+    }
+}
+
+// --- Determinism (satellite: unordered-map iteration audit) ---------------
+
+TEST(Artifact, CompileTwiceYieldsByteIdenticalArtifacts)
+{
+    // Compiling the same input twice must produce byte-identical
+    // encodings — this is what catches unordered-container iteration
+    // order leaking into compiler output.
+    workloads::WorkloadConfig cfg;
+    cfg.par = 16;
+    auto opt = testOptions();
+    for (const auto &name : {"mlp", "lstm", "sort", "kmeans"}) {
+        auto w1 = workloads::buildByName(name, cfg);
+        auto w2 = workloads::buildByName(name, cfg);
+        auto r1 = compiler::compile(w1.program, opt);
+        auto r2 = compiler::compile(w2.program, opt);
+        EXPECT_EQ(artifact::encodeCompileResult(r1),
+                  artifact::encodeCompileResult(r2))
+            << name;
+    }
+}
+
+TEST(Artifact, ContentKeyIsStableAndInputSensitive)
+{
+    workloads::WorkloadConfig cfg;
+    cfg.par = 16;
+    auto w = workloads::buildByName("mlp", cfg);
+    auto w2 = workloads::buildByName("mlp", cfg);
+    auto opt = testOptions();
+
+    std::string k1 = artifact::contentKey(w.program, opt);
+    EXPECT_EQ(k1.size(), 64u); // SHA-256 hex.
+    EXPECT_EQ(k1, artifact::contentKey(w2.program, opt));
+
+    // Any knob flip re-keys.
+    auto opt2 = opt;
+    opt2.enableRetime = false;
+    EXPECT_NE(k1, artifact::contentKey(w.program, opt2));
+
+    // A different program re-keys.
+    auto wl = workloads::buildByName("lstm", cfg);
+    EXPECT_NE(k1, artifact::contentKey(wl.program, opt));
+
+    // A different par factor changes the program, hence the key.
+    workloads::WorkloadConfig cfg2;
+    cfg2.par = 32;
+    auto w32 = workloads::buildByName("mlp", cfg2);
+    EXPECT_NE(k1, artifact::contentKey(w32.program, opt));
+}
+
+// --- Container integrity ---------------------------------------------------
+
+TEST(Artifact, ContainerDetectsCorruption)
+{
+    workloads::WorkloadConfig cfg;
+    cfg.par = 8;
+    auto w = workloads::buildByName("ms", cfg);
+    auto opt = testOptions();
+    auto r = compiler::compile(w.program, opt);
+    std::string key = artifact::contentKey(w.program, opt);
+    std::string bytes = artifact::packArtifact(key, r);
+
+    // The pristine container parses and echoes the key.
+    auto loaded = artifact::unpackArtifact(bytes);
+    EXPECT_EQ(loaded.key, key);
+
+    // Bad magic.
+    {
+        std::string bad = bytes;
+        bad[0] ^= 0x40;
+        EXPECT_THROW(artifact::unpackArtifact(bad),
+                     artifact::ArtifactError);
+    }
+    // Version skew.
+    {
+        std::string bad = bytes;
+        bad[8] = static_cast<char>(0xEE);
+        EXPECT_THROW(artifact::unpackArtifact(bad),
+                     artifact::ArtifactError);
+    }
+    // Payload bit-flip breaks the checksum.
+    {
+        std::string bad = bytes;
+        bad[bytes.size() - 7] ^= 0x01;
+        EXPECT_THROW(artifact::unpackArtifact(bad),
+                     artifact::ArtifactError);
+    }
+    // Truncation.
+    EXPECT_THROW(
+        artifact::unpackArtifact(bytes.substr(0, bytes.size() / 2)),
+        artifact::ArtifactError);
+    EXPECT_THROW(artifact::unpackArtifact(""),
+                 artifact::ArtifactError);
+    // Trailing garbage.
+    EXPECT_THROW(artifact::unpackArtifact(bytes + "x"),
+                 artifact::ArtifactError);
+}
+
+TEST(Artifact, FileRoundTrip)
+{
+    TempDir tmp("sara-artifact-file-test");
+    workloads::WorkloadConfig cfg;
+    cfg.par = 8;
+    auto w = workloads::buildByName("ms", cfg);
+    auto opt = testOptions();
+    auto r = compiler::compile(w.program, opt);
+    std::string key = artifact::contentKey(w.program, opt);
+
+    std::string path = (tmp.path / "ms.sara").string();
+    artifact::writeArtifactFile(path, key, r);
+    auto loaded = artifact::readArtifactFile(path);
+    EXPECT_EQ(loaded.key, key);
+    EXPECT_EQ(loaded.result.lowering.graph.str(),
+              r.lowering.graph.str());
+
+    EXPECT_THROW(
+        artifact::readArtifactFile((tmp.path / "absent.sara").string()),
+        artifact::ArtifactError);
+}
+
+// --- Cache -----------------------------------------------------------------
+
+TEST(ArtifactCache, MissStoreHit)
+{
+    TempDir tmp("sara-cache-test");
+    auto &reg = telemetry::Registry::global();
+    reg.clear();
+    reg.setEnabled(true);
+
+    artifact::ArtifactCache cache(tmp.path.string());
+    workloads::WorkloadConfig cfg;
+    cfg.par = 8;
+    auto w = workloads::buildByName("ms", cfg);
+    auto opt = testOptions();
+    std::string key = artifact::contentKey(w.program, opt);
+
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    EXPECT_EQ(reg.counter("artifact.cache.miss"), 1u);
+    EXPECT_FALSE(cache.contains(key));
+
+    auto r = compiler::compile(w.program, opt);
+    cache.store(key, r);
+    EXPECT_EQ(reg.counter("artifact.cache.store"), 1u);
+    EXPECT_TRUE(cache.contains(key));
+
+    auto hit = cache.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(reg.counter("artifact.cache.hit"), 1u);
+    EXPECT_EQ(hit->lowering.graph.str(), r.lowering.graph.str());
+
+    reg.setEnabled(false);
+}
+
+TEST(ArtifactCache, CorruptEntryIsDeletedAndMisses)
+{
+    TempDir tmp("sara-cache-corrupt-test");
+    auto &reg = telemetry::Registry::global();
+    reg.clear();
+    reg.setEnabled(true);
+
+    artifact::ArtifactCache cache(tmp.path.string());
+    workloads::WorkloadConfig cfg;
+    cfg.par = 8;
+    auto w = workloads::buildByName("ms", cfg);
+    auto opt = testOptions();
+    std::string key = artifact::contentKey(w.program, opt);
+    cache.store(key, compiler::compile(w.program, opt));
+
+    // Scribble over the stored artifact.
+    {
+        std::ofstream f(cache.pathFor(key), std::ios::binary);
+        f << "not an artifact";
+    }
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    EXPECT_EQ(reg.counter("artifact.cache.corrupt"), 1u);
+    // The bad entry is gone; the caller recompiles and re-stores.
+    EXPECT_FALSE(fs::exists(cache.pathFor(key)));
+
+    reg.setEnabled(false);
+}
+
+TEST(ArtifactCache, TrimEvictsOldestFirst)
+{
+    TempDir tmp("sara-cache-trim-test");
+    artifact::ArtifactCache cache(tmp.path.string(), /*maxBytes=*/0);
+    workloads::WorkloadConfig cfg;
+    cfg.par = 8;
+    auto w = workloads::buildByName("ms", cfg);
+    auto opt = testOptions();
+    auto r = compiler::compile(w.program, opt);
+
+    // Three entries under synthetic keys, with distinct mtimes.
+    std::vector<std::string> keys = {std::string(64, 'a'),
+                                     std::string(64, 'b'),
+                                     std::string(64, 'c')};
+    uint64_t each = 0;
+    for (const auto &k : keys) {
+        cache.store(k, r);
+        each = fs::file_size(cache.pathFor(k));
+        auto now = fs::last_write_time(cache.pathFor(k));
+        // Backdate earlier keys so LRU order is deterministic.
+        auto age = std::chrono::seconds(
+            10 * (keys.size() - (&k - keys.data())));
+        fs::last_write_time(cache.pathFor(k), now - age);
+    }
+
+    // Budget for two entries: the oldest ('a') must go.
+    int evicted = cache.trim(2 * each + each / 2);
+    EXPECT_EQ(evicted, 1);
+    EXPECT_FALSE(cache.contains(keys[0]));
+    EXPECT_TRUE(cache.contains(keys[1]));
+    EXPECT_TRUE(cache.contains(keys[2]));
+
+    EXPECT_EQ(cache.clear(), 2);
+    EXPECT_FALSE(cache.contains(keys[1]));
+}
+
+TEST(CachingCompiler, SecondCompileComesFromCache)
+{
+    TempDir tmp("sara-cachecompile-test");
+    artifact::ArtifactCache cache(tmp.path.string());
+    artifact::CachingCompiler cc(&cache);
+
+    workloads::WorkloadConfig cfg;
+    cfg.par = 8;
+    auto w = workloads::buildByName("ms", cfg);
+    auto opt = testOptions();
+
+    auto first = cc.compile(w.program, opt);
+    EXPECT_FALSE(first.fromCache);
+    auto second = cc.compile(w.program, opt);
+    EXPECT_TRUE(second.fromCache);
+    EXPECT_EQ(first.key, second.key);
+    EXPECT_EQ(first.result.lowering.graph.str(),
+              second.result.lowering.graph.str());
+
+    auto simA = simulate(w, first.result);
+    auto simB = simulate(w, second.result);
+    EXPECT_EQ(simA.cycles, simB.cycles);
+}
+
+// --- Hash support ----------------------------------------------------------
+
+TEST(Hash, Sha256KnownVectors)
+{
+    // FIPS 180-2 test vectors.
+    EXPECT_EQ(support::Sha256::hexOf(""),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+    EXPECT_EQ(support::Sha256::hexOf("abc"),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+    EXPECT_EQ(
+        support::Sha256::hexOf("abcdbcdecdefdefgefghfghighijhijkijkl"
+                               "jklmklmnlmnomnopnopq"),
+        "248d6a61d20638b8e5c026930c3e6039"
+        "a33ce45964ff2167f6ecedd419db06c1");
+
+    // Incremental == one-shot.
+    support::Sha256 h;
+    h.update("ab", 2);
+    h.update("c", 1);
+    EXPECT_EQ(h.hex(), support::Sha256::hexOf("abc"));
+}
+
+} // namespace
+} // namespace sara

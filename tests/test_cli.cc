@@ -1,0 +1,146 @@
+/**
+ * @file
+ * End-to-end CLI tests: drives the real sarac binary (path injected by
+ * CMake as SARAC_PATH) and checks the exit-code contract — 0 success,
+ * 2 usage, 3 invalid input / exhausted cycle budget, 4 internal — plus
+ * the artifact emit/load flags and cache-cold vs cache-warm --batch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct CmdResult
+{
+    int exitCode = -1;
+    std::string output; ///< stdout + stderr, interleaved.
+};
+
+CmdResult
+runSarac(const std::string &args)
+{
+    std::string cmd = std::string(SARAC_PATH) + " " + args + " 2>&1";
+    std::FILE *pipe = popen(cmd.c_str(), "r");
+    EXPECT_NE(pipe, nullptr) << cmd;
+    CmdResult r;
+    std::array<char, 4096> buf;
+    size_t n;
+    while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0)
+        r.output.append(buf.data(), n);
+    int status = pclose(pipe);
+    r.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return r;
+}
+
+struct TempDir
+{
+    fs::path path;
+    explicit TempDir(const std::string &name)
+        : path(fs::temp_directory_path() / name)
+    {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+};
+
+TEST(Cli, SuccessfulRunExitsZero)
+{
+    auto r = runSarac("ms --par 8 --check");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("verification: PASS"), std::string::npos)
+        << r.output;
+}
+
+TEST(Cli, UsageErrorsExitTwo)
+{
+    EXPECT_EQ(runSarac("--frobnicate").exitCode, 2);
+    EXPECT_EQ(runSarac("").exitCode, 2);        // No workload.
+    EXPECT_EQ(runSarac("mlp lstm").exitCode, 2); // Two without --batch.
+}
+
+TEST(Cli, UnknownWorkloadExitsNonzero)
+{
+    auto r = runSarac("not-a-workload");
+    EXPECT_EQ(r.exitCode, 3) << r.output;
+    EXPECT_NE(r.output.find("unknown workload"), std::string::npos);
+}
+
+TEST(Cli, ExhaustedCycleBudgetExitsNonzero)
+{
+    // A 10-cycle budget cannot finish any workload: the simulator's
+    // deadlock/livelock valve must surface as a clean nonzero exit,
+    // not an abort.
+    auto r = runSarac("ms --par 8 --max-cycles 10");
+    EXPECT_EQ(r.exitCode, 3) << r.output;
+    EXPECT_NE(r.output.find("exceeded"), std::string::npos) << r.output;
+}
+
+TEST(Cli, ArtifactEmitLoadRoundTrip)
+{
+    TempDir tmp("sara-cli-artifact");
+    std::string file = (tmp.path / "ms.sara").string();
+
+    auto emit = runSarac("ms --par 8 --emit-artifact " + file);
+    EXPECT_EQ(emit.exitCode, 0) << emit.output;
+    EXPECT_TRUE(fs::exists(file));
+
+    auto load =
+        runSarac("ms --par 8 --load-artifact " + file + " --check");
+    EXPECT_EQ(load.exitCode, 0) << load.output;
+    EXPECT_NE(load.output.find("loaded from artifact"),
+              std::string::npos)
+        << load.output;
+    EXPECT_NE(load.output.find("verification: PASS"),
+              std::string::npos);
+
+    // A corrupt artifact degrades to a fresh compile, still exit 0.
+    {
+        std::FILE *f = std::fopen(file.c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        std::fputc('X', f);
+        std::fclose(f);
+    }
+    auto corrupt = runSarac("ms --par 8 --load-artifact " + file);
+    EXPECT_EQ(corrupt.exitCode, 0) << corrupt.output;
+    EXPECT_NE(corrupt.output.find("falling back"), std::string::npos)
+        << corrupt.output;
+}
+
+TEST(Cli, BatchColdThenWarmCache)
+{
+    TempDir tmp("sara-cli-batch-cache");
+    std::string common =
+        "--batch ms bs sgd --par 8 -j 2 --cache-dir " +
+        tmp.path.string();
+
+    auto cold = runSarac(common);
+    EXPECT_EQ(cold.exitCode, 0) << cold.output;
+    EXPECT_NE(cold.output.find("cache 0 hits / 3 misses"),
+              std::string::npos)
+        << cold.output;
+
+    auto warm = runSarac(common);
+    EXPECT_EQ(warm.exitCode, 0) << warm.output;
+    EXPECT_NE(warm.output.find("cache 3 hits / 0 misses"),
+              std::string::npos)
+        << warm.output;
+    EXPECT_NE(warm.output.find("[cached]"), std::string::npos);
+}
+
+TEST(Cli, BatchFailureExitsNonzero)
+{
+    auto r = runSarac("--batch ms not-a-workload --par 8 -j 1");
+    EXPECT_EQ(r.exitCode, 1) << r.output;
+    EXPECT_NE(r.output.find("FAILED"), std::string::npos) << r.output;
+}
+
+} // namespace

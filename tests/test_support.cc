@@ -1,12 +1,15 @@
 /**
  * @file
  * Unit tests for the support library: digraph algorithms (topological
- * sort, transitive reduction, SCC, reachability) and table formatting.
+ * sort, transitive reduction, SCC, reachability), table formatting,
+ * and the JSON parser's edge cases (escapes, unicode, deep nesting,
+ * strict numbers, error positions).
  */
 
 #include <gtest/gtest.h>
 
 #include "support/digraph.h"
+#include "support/json.h"
 #include "support/logging.h"
 #include "support/rng.h"
 #include "support/table.h"
@@ -160,6 +163,125 @@ TEST(Rng, Deterministic)
     Rng a(5), b(5);
     for (int i = 0; i < 100; ++i)
         EXPECT_EQ(a.intIn(0, 1000), b.intIn(0, 1000));
+}
+
+// --- JSON parser edge cases ------------------------------------------------
+
+/** Parse errors are FatalError; returns the message for inspection. */
+static std::string
+parseError(const std::string &doc)
+{
+    try {
+        json::parse(doc);
+    } catch (const FatalError &e) {
+        return e.what();
+    }
+    ADD_FAILURE() << "expected parse failure for: " << doc;
+    return "";
+}
+
+TEST(Json, EscapedStringsRoundTrip)
+{
+    json::Value v = json::parse(
+        R"({"s": "a\"b\\c\/d\n\t\r\b\f"})");
+    EXPECT_EQ(v.at("s").str, "a\"b\\c/d\n\t\r\b\f");
+
+    // Writer escapes control characters; the parser decodes them back.
+    json::Writer w;
+    std::string nasty = "line1\nline2\ttab \"quoted\" back\\slash";
+    nasty += '\x01';
+    w.beginObject().kv("k", nasty).endObject();
+    EXPECT_EQ(json::parse(w.str()).at("k").str, nasty);
+}
+
+TEST(Json, UnicodeEscapesDecodeToUtf8)
+{
+    // 2-byte: U+00E9 (é), 3-byte: U+20AC (€).
+    EXPECT_EQ(json::parse("\"caf\\u00e9\"").str, "caf\xC3\xA9");
+    EXPECT_EQ(json::parse("\"\\u20AC\"").str, "\xE2\x82\xAC");
+    // Surrogate pair: U+1F600 (grinning face).
+    EXPECT_EQ(json::parse("\"\\uD83D\\uDE00\"").str,
+              "\xF0\x9F\x98\x80");
+    // Raw UTF-8 passes through untouched.
+    EXPECT_EQ(json::parse("\"\xC3\xA9\"").str, "\xC3\xA9");
+
+    // Unpaired or malformed surrogates are errors, not mojibake.
+    EXPECT_THROW(json::parse(R"("\uD83D")"), FatalError);
+    EXPECT_THROW(json::parse(R"("\uD83Dx")"), FatalError);
+    EXPECT_THROW(json::parse(R"("\uDE00")"), FatalError);
+    EXPECT_THROW(json::parse(R"("\uD83DA")"), FatalError);
+    EXPECT_THROW(json::parse(R"("\u12G4")"), FatalError);
+    EXPECT_THROW(json::parse(R"("\u12")"), FatalError);
+}
+
+TEST(Json, StrictNumbers)
+{
+    EXPECT_EQ(json::parse("0").num, 0.0);
+    EXPECT_EQ(json::parse("-0.5e-3").num, -0.5e-3);
+    EXPECT_EQ(json::parse("1e+6").num, 1e6);
+    EXPECT_EQ(json::parse("123456789012345").num, 123456789012345.0);
+
+    // The C library accepts these; JSON does not.
+    EXPECT_THROW(json::parse("NaN"), FatalError);
+    EXPECT_THROW(json::parse("nan"), FatalError);
+    EXPECT_THROW(json::parse("Infinity"), FatalError);
+    EXPECT_THROW(json::parse("-inf"), FatalError);
+    EXPECT_THROW(json::parse("0x10"), FatalError);
+    EXPECT_THROW(json::parse("+1"), FatalError);
+    EXPECT_THROW(json::parse("1."), FatalError);
+    EXPECT_THROW(json::parse(".5"), FatalError);
+    EXPECT_THROW(json::parse("1e"), FatalError);
+    EXPECT_THROW(json::parse("01"), FatalError);
+    EXPECT_THROW(json::parse("--1"), FatalError);
+
+    // The writer never emits non-finite numbers either.
+    EXPECT_EQ(json::number(std::nan("")), "null");
+    EXPECT_EQ(json::number(1.0 / 0.0), "null");
+}
+
+TEST(Json, DeepNestingBoundedNotCrashing)
+{
+    // 200 levels: fine. 300 levels: clean error instead of a stack
+    // overflow.
+    auto nest = [](int depth) {
+        return std::string(depth, '[') + "1" + std::string(depth, ']');
+    };
+    json::Value v = json::parse(nest(200));
+    const json::Value *p = &v;
+    int measured = 0;
+    while (p->isArray()) {
+        ++measured;
+        p = &p->arr[0];
+    }
+    EXPECT_EQ(measured, 200);
+    EXPECT_EQ(p->num, 1.0);
+
+    std::string err = parseError(nest(300));
+    EXPECT_NE(err.find("nesting"), std::string::npos) << err;
+}
+
+TEST(Json, ErrorsReportPositions)
+{
+    // The bad token starts at line 2, column 8.
+    std::string err = parseError("{\n  \"a\": tru\n}");
+    EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+
+    err = parseError("{\"a\": 1,\n \"b\": }");
+    EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+
+    err = parseError("[1, 2");
+    EXPECT_NE(err.find("line 1, column 6"), std::string::npos) << err;
+
+    err = parseError("{} x");
+    EXPECT_NE(err.find("trailing"), std::string::npos) << err;
+    EXPECT_NE(err.find("column 4"), std::string::npos) << err;
+}
+
+TEST(Json, RejectsUnescapedControlCharacters)
+{
+    EXPECT_THROW(json::parse("\"a\nb\""), FatalError);
+    EXPECT_THROW(json::parse(std::string("\"a\x01") + "b\""),
+                 FatalError);
 }
 
 } // namespace

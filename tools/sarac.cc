@@ -8,6 +8,7 @@
  *
  * Usage:
  *   sarac <workload> [options]
+ *   sarac --batch [workload ...] [options]   (default: all workloads)
  *   sarac --list
  *
  * Options:
@@ -21,23 +22,45 @@
  *                      retime-m, xbar-elm, multibuffer, ctrl-reduction,
  *                      duplication
  *   --check            validate against the sequential interpreter
+ *   --max-cycles N     simulator cycle budget (deadlock safety valve)
  *   --trace FILE       write a unified Chrome trace (compile phases +
  *                      every firing + DRAM counter tracks)
- *   --json FILE        write a machine-readable run report
- *                      (schema sara-run-report/v1)
+ *   --json FILE        write a machine-readable run report (single:
+ *                      schema sara-run-report/v1; batch: sara-batch/v1)
  *   --dump-graph       print the VUDFG before simulating
  *   --units            print the per-unit activity table
  *   --stalls           print the per-unit stall-attribution table
+ *
+ * Artifacts & caching:
+ *   --cache            compile through the artifact cache at the
+ *                      default location ($SARA_CACHE_DIR or
+ *                      ~/.sara-cache)
+ *   --cache-dir DIR    same, at DIR
+ *   --emit-artifact F  serialize the compiled program to F
+ *   --load-artifact F  simulate a saved artifact (skips compilation)
+ *   --batch            run several workloads through the job scheduler
+ *   -j N               batch worker threads (default: all cores)
+ *   --metrics          dump telemetry counters (cache hits/misses,
+ *                      job stats) before exiting
+ *
+ * Exit codes: 0 success; 1 verification/batch-job failure; 2 usage;
+ * 3 invalid input or configuration; 4 internal error (e.g. simulator
+ * deadlock).
  */
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "artifact/cache.h"
+#include "jobs/jobs.h"
 #include "runtime/run.h"
+#include "support/json.h"
 #include "support/logging.h"
 #include "support/table.h"
+#include "support/telemetry.h"
 
 using namespace sara;
 
@@ -50,117 +73,52 @@ usage()
                  "usage: sarac <workload> [--par N] [--scale N] "
                  "[--dram hbm2|ddr3] [--chip paper|vanilla|tiny]\n"
                  "             [--control cmmc|fsm] [--partitioner ALG] "
-                 "[--no-OPT ...] [--check] [--trace FILE]\n"
-                 "             [--json FILE] [--dump-graph] [--units] "
-                 "[--stalls]\n"
+                 "[--no-OPT ...] [--check] [--max-cycles N]\n"
+                 "             [--trace FILE] [--json FILE] "
+                 "[--dump-graph] [--units] [--stalls]\n"
+                 "             [--cache] [--cache-dir DIR] "
+                 "[--emit-artifact FILE] [--load-artifact FILE]\n"
+                 "             [--metrics]\n"
+                 "       sarac --batch [workload ...] [-j N] "
+                 "[common options]\n"
                  "       sarac --list\n");
     return 2;
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+struct CliOptions
 {
-    if (argc < 2)
-        return usage();
-    std::string workload = argv[1];
-    if (workload == "--list") {
-        for (const auto &name : workloads::workloadNames())
-            std::printf("%s\n", name.c_str());
-        return 0;
-    }
-
+    std::vector<std::string> names; ///< Positional workload names.
     workloads::WorkloadConfig cfg;
     runtime::RunConfig rc;
+    bool batch = false;
+    int threads = 0;
     bool dumpGraph = false, unitTable = false, stallTable = false;
+    bool metrics = false;
     std::string jsonFile;
+    std::string cacheDir;
+    bool useCache = false;
+    std::string emitArtifact, loadArtifact;
+};
 
-    for (int i = 2; i < argc; ++i) {
-        std::string arg = argv[i];
-        auto next = [&]() -> std::string {
-            if (i + 1 >= argc)
-                fatal("missing value for ", arg);
-            return argv[++i];
-        };
-        if (arg == "--par") {
-            cfg.par = std::stoi(next());
-        } else if (arg == "--scale") {
-            cfg.scale = std::stoi(next());
-        } else if (arg == "--dram") {
-            std::string d = next();
-            rc.dram = d == "ddr3" ? dram::DramSpec::ddr3()
-                                  : dram::DramSpec::hbm2();
-        } else if (arg == "--chip") {
-            std::string c = next();
-            rc.compiler.spec = c == "vanilla"
-                                   ? arch::PlasticineSpec::vanilla()
-                               : c == "tiny"
-                                   ? arch::PlasticineSpec::tiny()
-                                   : arch::PlasticineSpec::paper();
-        } else if (arg == "--control") {
-            rc.compiler.control =
-                next() == "fsm"
-                    ? compiler::ControlScheme::HierarchicalFsm
-                    : compiler::ControlScheme::Cmmc;
-        } else if (arg == "--partitioner") {
-            std::string a = next();
-            using compiler::PartitionAlgo;
-            rc.compiler.partitioner =
-                a == "bfs-fwd"   ? PartitionAlgo::BfsFwd
-                : a == "bfs-bwd" ? PartitionAlgo::BfsBwd
-                : a == "dfs-bwd" ? PartitionAlgo::DfsBwd
-                : a == "solver"  ? PartitionAlgo::Solver
-                                 : PartitionAlgo::DfsFwd;
-        } else if (arg == "--no-msr") {
-            rc.compiler.enableMsr = false;
-        } else if (arg == "--no-rtelm") {
-            rc.compiler.enableRtelm = false;
-        } else if (arg == "--no-retime") {
-            rc.compiler.enableRetime = false;
-        } else if (arg == "--no-retime-m") {
-            rc.compiler.enableRetimeM = false;
-        } else if (arg == "--no-xbar-elm") {
-            rc.compiler.enableXbarElm = false;
-        } else if (arg == "--no-multibuffer") {
-            rc.compiler.enableMultibuffer = false;
-        } else if (arg == "--no-ctrl-reduction") {
-            rc.compiler.enableControlReduction = false;
-        } else if (arg == "--no-duplication") {
-            rc.compiler.enableDuplication = false;
-        } else if (arg == "--check") {
-            rc.check = true;
-        } else if (arg == "--trace") {
-            rc.sim.traceFile = next();
-        } else if (arg == "--json") {
-            jsonFile = next();
-        } else if (arg == "--dump-graph") {
-            dumpGraph = true;
-        } else if (arg == "--units") {
-            unitTable = true;
-        } else if (arg == "--stalls") {
-            stallTable = true;
-        } else {
-            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
-            return usage();
-        }
-    }
-
-    auto w = workloads::buildByName(workload, cfg);
-    auto r = runtime::runWorkload(w, rc);
-
-    if (dumpGraph)
-        std::printf("%s\n", r.compiled.lowering.graph.str().c_str());
-
+void
+printReport(const workloads::Workload &w, const CliOptions &cli,
+            const runtime::RunOutcome &r)
+{
     std::printf("== %s (par %d, scale %d) ==\n", w.name.c_str(),
-                cfg.par, cfg.scale);
-    std::printf("compile:");
-    for (const auto &span : r.compiled.phases) {
-        if (span.depth == 0)
-            continue; // Root span printed as the total below.
-        std::printf(" %s %.1fms,", span.name.c_str(), span.durMs);
+                cli.cfg.par, cli.cfg.scale);
+    if (r.fromCache) {
+        std::printf("compile: loaded from artifact%s%s\n",
+                    r.artifactKey.empty() ? "" : " ",
+                    r.artifactKey.c_str());
+    } else {
+        std::printf("compile:");
+        for (const auto &span : r.compiled.phases) {
+            if (span.depth == 0)
+                continue; // Root span printed as the total below.
+            std::printf(" %s %.1fms,", span.name.c_str(), span.durMs);
+        }
+        std::printf(" (total %.1fms)\n", r.compiled.totalMs());
     }
-    std::printf(" (total %.1fms)\n", r.compiled.totalMs());
     std::printf("graph: %s\n",
                 r.compiled.lowering.graph.summary().c_str());
     const auto &st = r.compiled.lowering.stats;
@@ -180,7 +138,7 @@ main(int argc, char **argv)
     if (r.checked)
         std::printf("verification: %s\n", r.correct ? "PASS" : "FAIL");
 
-    if (unitTable) {
+    if (cli.unitTable) {
         Table t({"unit", "firings", "skips", "busy", "first", "last"});
         const auto &g = r.compiled.lowering.graph;
         for (const auto &u : g.units()) {
@@ -196,7 +154,7 @@ main(int argc, char **argv)
         std::printf("%s", t.str().c_str());
     }
 
-    if (stallTable) {
+    if (cli.stallTable) {
         std::vector<std::string> header = {"unit", "busy"};
         for (int c = 0; c < sim::kNumStallCauses; ++c)
             header.push_back(
@@ -222,8 +180,314 @@ main(int argc, char **argv)
         t.addRow(total);
         std::printf("%s", t.str().c_str());
     }
+}
 
-    if (!jsonFile.empty())
-        runtime::writeJsonReport(jsonFile, w, rc, r);
+/** Run a single workload end to end (the classic sarac flow). */
+int
+runSingle(CliOptions &cli)
+{
+    auto w = workloads::buildByName(cli.names[0], cli.cfg);
+
+    std::unique_ptr<artifact::ArtifactCache> cache;
+    std::unique_ptr<artifact::CachingCompiler> compiler;
+    if (cli.useCache) {
+        cache = std::make_unique<artifact::ArtifactCache>(cli.cacheDir);
+        compiler = std::make_unique<artifact::CachingCompiler>(
+            cache.get());
+        cli.rc.cachingCompiler = compiler.get();
+        inform("artifact cache at ", cache->dir());
+    }
+
+    compiler::CompileResult loaded;
+    if (!cli.loadArtifact.empty()) {
+        try {
+            artifact::LoadedArtifact art =
+                artifact::readArtifactFile(cli.loadArtifact);
+            std::string expect =
+                artifact::contentKey(w.program, cli.rc.compiler);
+            if (art.key != expect)
+                warn("artifact ", cli.loadArtifact,
+                     " was compiled from a different (workload, "
+                     "options) pair; simulating it anyway");
+            loaded = std::move(art.result);
+            cli.rc.preCompiled = &loaded;
+            inform("loaded artifact ", cli.loadArtifact);
+        } catch (const artifact::ArtifactError &e) {
+            warn("cannot load artifact: ", e.what(),
+                 "; falling back to a fresh compile");
+        }
+    }
+
+    auto r = runtime::runWorkload(w, cli.rc);
+
+    if (!cli.emitArtifact.empty()) {
+        std::string key = r.artifactKey.empty()
+                              ? artifact::contentKey(w.program,
+                                                     cli.rc.compiler)
+                              : r.artifactKey;
+        artifact::writeArtifactFile(cli.emitArtifact, key, r.compiled);
+        inform("wrote artifact to ", cli.emitArtifact);
+    }
+
+    if (cli.dumpGraph)
+        std::printf("%s\n", r.compiled.lowering.graph.str().c_str());
+    printReport(w, cli, r);
+    if (!cli.jsonFile.empty())
+        runtime::writeJsonReport(cli.jsonFile, w, cli.rc, r);
     return r.checked && !r.correct ? 1 : 0;
+}
+
+/** Run a workload suite through the parallel job scheduler. */
+int
+runBatch(CliOptions &cli)
+{
+    std::vector<std::string> names = cli.names;
+    if (names.empty())
+        names = workloads::workloadNames();
+
+    telemetry::Registry::global().setEnabled(true);
+
+    std::unique_ptr<artifact::ArtifactCache> cache;
+    if (cli.useCache)
+        cache = std::make_unique<artifact::ArtifactCache>(cli.cacheDir);
+    artifact::CachingCompiler compiler(cache.get());
+    if (cache)
+        inform("artifact cache at ", cache->dir());
+
+    struct Slot
+    {
+        workloads::Workload w;
+        runtime::RunOutcome r;
+        bool done = false;
+    };
+    std::vector<Slot> slots(names.size());
+
+    std::vector<jobs::Job> batch;
+    batch.reserve(names.size());
+    for (size_t i = 0; i < names.size(); ++i) {
+        batch.push_back({names[i], [&, i] {
+            runtime::RunConfig rc = cli.rc; // Per-job copy.
+            rc.cachingCompiler = &compiler;
+            rc.sim.traceFile.clear(); // --trace traces the batch.
+            Slot &slot = slots[i];
+            slot.w = workloads::buildByName(names[i], cli.cfg);
+            slot.r = runtime::runWorkload(slot.w, rc);
+            slot.done = true;
+            if (rc.check && !slot.r.correct)
+                fatal("verification failed");
+        }});
+    }
+
+    jobs::BatchOptions opt;
+    opt.threads = cli.threads;
+    // In batch mode --trace means the batch timeline, not N simulator
+    // traces racing on one file (the per-job RunConfig clears it).
+    opt.traceFile = cli.rc.sim.traceFile;
+    jobs::BatchReport report = jobs::runBatch(std::move(batch), opt);
+
+    // Deterministic output: report in submission order.
+    for (size_t i = 0; i < names.size(); ++i) {
+        const auto &o = report.outcomes[i];
+        if (o.status == jobs::JobOutcome::Status::Ok) {
+            std::printf("%-8s %8.1fms %s%s\n", names[i].c_str(),
+                        o.durMs,
+                        runtime::summarize(slots[i].w, slots[i].r)
+                            .c_str(),
+                        slots[i].r.fromCache ? " [cached]" : "");
+        } else {
+            std::printf("%-8s %s (%s)\n", names[i].c_str(),
+                        o.status == jobs::JobOutcome::Status::Failed
+                            ? "FAILED"
+                            : "CANCELLED",
+                        o.error.c_str());
+        }
+    }
+    auto &reg = telemetry::Registry::global();
+    std::printf("batch: %d ok, %d failed, %d cancelled in %.1fms on "
+                "%d threads; cache %llu hits / %llu misses\n",
+                report.succeeded(), report.failed(),
+                report.cancelled(), report.wallMs, report.threads,
+                static_cast<unsigned long long>(
+                    reg.counter("artifact.cache.hit")),
+                static_cast<unsigned long long>(
+                    reg.counter("artifact.cache.miss")));
+
+    if (!cli.jsonFile.empty()) {
+        json::Writer j;
+        j.beginObject();
+        j.kv("schema", "sara-batch/v1");
+        j.kv("threads", report.threads);
+        j.kv("wall_ms", report.wallMs);
+        j.kv("cache_hits", reg.counter("artifact.cache.hit"));
+        j.kv("cache_misses", reg.counter("artifact.cache.miss"));
+        j.key("jobs").beginArray();
+        for (size_t i = 0; i < names.size(); ++i) {
+            const auto &o = report.outcomes[i];
+            j.beginObject();
+            j.kv("workload", names[i]);
+            j.kv("status",
+                 o.status == jobs::JobOutcome::Status::Ok ? "ok"
+                 : o.status == jobs::JobOutcome::Status::Failed
+                     ? "failed"
+                     : "cancelled");
+            j.kv("job_ms", o.durMs);
+            if (slots[i].done) {
+                j.kv("cycles", slots[i].r.sim.cycles);
+                j.kv("gflops", slots[i].r.gflops());
+                j.kv("from_cache", slots[i].r.fromCache);
+            }
+            j.endObject();
+        }
+        j.endArray();
+        j.endObject();
+        std::FILE *f = std::fopen(cli.jsonFile.c_str(), "w");
+        if (!f)
+            fatal("cannot write JSON report to ", cli.jsonFile);
+        const std::string &doc = j.str();
+        std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        inform("wrote batch report to ", cli.jsonFile);
+    }
+    return report.allOk() ? 0 : 1;
+}
+
+int
+realMain(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+
+    CliOptions cli;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            for (const auto &name : workloads::workloadNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        } else if (arg == "--batch") {
+            cli.batch = true;
+        } else if (arg == "-j") {
+            cli.threads = std::stoi(next());
+        } else if (arg == "--par") {
+            cli.cfg.par = std::stoi(next());
+        } else if (arg == "--scale") {
+            cli.cfg.scale = std::stoi(next());
+        } else if (arg == "--dram") {
+            std::string d = next();
+            cli.rc.dram = d == "ddr3" ? dram::DramSpec::ddr3()
+                                      : dram::DramSpec::hbm2();
+        } else if (arg == "--chip") {
+            std::string c = next();
+            cli.rc.compiler.spec =
+                c == "vanilla" ? arch::PlasticineSpec::vanilla()
+                : c == "tiny"  ? arch::PlasticineSpec::tiny()
+                               : arch::PlasticineSpec::paper();
+        } else if (arg == "--control") {
+            cli.rc.compiler.control =
+                next() == "fsm"
+                    ? compiler::ControlScheme::HierarchicalFsm
+                    : compiler::ControlScheme::Cmmc;
+        } else if (arg == "--partitioner") {
+            std::string a = next();
+            using compiler::PartitionAlgo;
+            cli.rc.compiler.partitioner =
+                a == "bfs-fwd"   ? PartitionAlgo::BfsFwd
+                : a == "bfs-bwd" ? PartitionAlgo::BfsBwd
+                : a == "dfs-bwd" ? PartitionAlgo::DfsBwd
+                : a == "solver"  ? PartitionAlgo::Solver
+                                 : PartitionAlgo::DfsFwd;
+        } else if (arg == "--no-msr") {
+            cli.rc.compiler.enableMsr = false;
+        } else if (arg == "--no-rtelm") {
+            cli.rc.compiler.enableRtelm = false;
+        } else if (arg == "--no-retime") {
+            cli.rc.compiler.enableRetime = false;
+        } else if (arg == "--no-retime-m") {
+            cli.rc.compiler.enableRetimeM = false;
+        } else if (arg == "--no-xbar-elm") {
+            cli.rc.compiler.enableXbarElm = false;
+        } else if (arg == "--no-multibuffer") {
+            cli.rc.compiler.enableMultibuffer = false;
+        } else if (arg == "--no-ctrl-reduction") {
+            cli.rc.compiler.enableControlReduction = false;
+        } else if (arg == "--no-duplication") {
+            cli.rc.compiler.enableDuplication = false;
+        } else if (arg == "--check") {
+            cli.rc.check = true;
+        } else if (arg == "--max-cycles") {
+            cli.rc.sim.maxCycles = std::stoull(next());
+        } else if (arg == "--trace") {
+            cli.rc.sim.traceFile = next();
+        } else if (arg == "--json") {
+            cli.jsonFile = next();
+        } else if (arg == "--cache") {
+            cli.useCache = true;
+        } else if (arg == "--cache-dir") {
+            cli.useCache = true;
+            cli.cacheDir = next();
+        } else if (arg == "--emit-artifact") {
+            cli.emitArtifact = next();
+        } else if (arg == "--load-artifact") {
+            cli.loadArtifact = next();
+        } else if (arg == "--metrics") {
+            cli.metrics = true;
+            telemetry::Registry::global().setEnabled(true);
+        } else if (arg == "--dump-graph") {
+            cli.dumpGraph = true;
+        } else if (arg == "--units") {
+            cli.unitTable = true;
+        } else if (arg == "--stalls") {
+            cli.stallTable = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return usage();
+        } else {
+            cli.names.push_back(arg);
+        }
+    }
+
+    if (cli.useCache)
+        telemetry::Registry::global().setEnabled(true);
+
+    int rc;
+    if (cli.batch) {
+        rc = runBatch(cli);
+    } else {
+        if (cli.names.size() != 1)
+            return usage();
+        rc = runSingle(cli);
+    }
+    if (cli.metrics) {
+        std::printf("-- telemetry --\n%s",
+                    telemetry::Registry::global().str().c_str());
+    }
+    return rc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Report failures through exit codes, not aborts: a --check
+    // mismatch exits 1 (runSingle/runBatch), bad input or an exhausted
+    // --max-cycles budget exits 3, and internal errors — most
+    // prominently a detected simulator deadlock — exit 4 after their
+    // diagnosis has been printed.
+    try {
+        return realMain(argc, argv);
+    } catch (const FatalError &) {
+        return 3; // fatal() already logged the message.
+    } catch (const PanicError &) {
+        return 4; // panic() already logged the diagnosis.
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "sarac: %s\n", e.what());
+        return 4;
+    }
 }
