@@ -188,6 +188,24 @@ class BenchJson
     json::Writer w_;
 };
 
+/**
+ * Re-simulate an already-compiled outcome through the cycle-level NoC
+ * (src/noc) and return the contended cycle count. The fig binaries
+ * report both numbers side by side: the delta is what link-level
+ * arbitration and backpressure cost on top of the fixed PnR latencies.
+ */
+inline uint64_t
+nocCycles(const workloads::Workload &w, runtime::RunConfig rc,
+          const runtime::RunOutcome &r)
+{
+    rc.sim.useNoc = true;
+    rc.sim.traceFile.clear();
+    rc.check = false;
+    rc.cachingCompiler = nullptr;
+    rc.preCompiled = &r.compiled; // Simulate, don't recompile.
+    return runtime::runWorkload(w, rc).sim.cycles;
+}
+
 inline double
 geomean(const std::vector<double> &xs)
 {

@@ -39,14 +39,23 @@ const Knob kKnobs[] = {
      [](compiler::CompilerOptions &o) { o.enableDuplication = false; }},
 };
 
-runtime::RunOutcome
+struct Point10
+{
+    runtime::RunOutcome r;
+    uint64_t nocCycles = 0;
+};
+
+Point10
 run(const BenchContext &ctx, const workloads::Workload &w,
     const compiler::CompilerOptions &opt)
 {
     runtime::RunConfig rc;
     rc.compiler = opt;
     ctx.configure(rc);
-    return runtime::runWorkload(w, rc);
+    Point10 pt;
+    pt.r = runtime::runWorkload(w, rc);
+    pt.nocCycles = nocCycles(w, rc, pt.r);
+    return pt;
 }
 
 } // namespace
@@ -74,7 +83,7 @@ main(int argc, char **argv)
             cfg.scale = 4;
         ws[a] = workloads::buildByName(apps[a], cfg);
     }
-    std::vector<runtime::RunOutcome> results(apps.size() * kRuns);
+    std::vector<Point10> results(apps.size() * kRuns);
     ctx.forEach(results.size(), "fig10", [&](size_t i) {
         compiler::CompilerOptions opt;
         opt.spec = arch::PlasticineSpec::paper();
@@ -88,13 +97,14 @@ main(int argc, char **argv)
     BenchJson out("fig10");
     for (size_t a = 0; a < apps.size(); ++a) {
         const std::string &name = apps[a];
-        const auto &ref = results[a * kRuns];
+        const auto &ref = results[a * kRuns].r;
 
         Table t({"disabled opt", "runtime x", "resource x", "tokens",
-                 "cycles"});
+                 "cycles", "cycles (noc)"});
         t.addRow({"(none)", "1.00", "1.00",
                   std::to_string(ref.compiled.lowering.stats.tokens),
-                  std::to_string(ref.sim.cycles)});
+                  std::to_string(ref.sim.cycles),
+                  std::to_string(results[a * kRuns].nocCycles)});
         out.beginRow()
             .kv("app", name)
             .kv("disabled", "none")
@@ -102,10 +112,12 @@ main(int argc, char **argv)
             .kv("resource_x", 1.0)
             .kv("tokens", ref.compiled.lowering.stats.tokens)
             .kv("cycles", ref.sim.cycles)
+            .kv("noc_cycles", results[a * kRuns].nocCycles)
             .endRow();
         for (size_t k = 0; k < std::size(kKnobs); ++k) {
             const auto &knob = kKnobs[k];
-            const auto &r = results[a * kRuns + 1 + k];
+            const auto &r = results[a * kRuns + 1 + k].r;
+            uint64_t noc = results[a * kRuns + 1 + k].nocCycles;
             double rt = static_cast<double>(r.sim.cycles) /
                         static_cast<double>(ref.sim.cycles);
             double res =
@@ -113,7 +125,8 @@ main(int argc, char **argv)
                 std::max(1, ref.compiled.resources.total());
             t.addRow({knob.name, Table::fmt(rt), Table::fmt(res),
                       std::to_string(r.compiled.lowering.stats.tokens),
-                      std::to_string(r.sim.cycles)});
+                      std::to_string(r.sim.cycles),
+                      std::to_string(noc)});
             out.beginRow()
                 .kv("app", name)
                 .kv("disabled", knob.name)
@@ -121,6 +134,7 @@ main(int argc, char **argv)
                 .kv("resource_x", res)
                 .kv("tokens", r.compiled.lowering.stats.tokens)
                 .kv("cycles", r.sim.cycles)
+                .kv("noc_cycles", noc)
                 .endRow();
         }
         std::printf("-- %s --\n%s", name.c_str(), t.str().c_str());

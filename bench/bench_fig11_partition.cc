@@ -36,10 +36,15 @@ main(int argc, char **argv)
         PartitionAlgo algo;
         int pcus = 0;
         double partMs = 0.0;
+        uint64_t cycles = 0;
+        uint64_t nocCycles = 0;
     };
     // This figure *measures compile time*, so sweep points always
     // compile fresh (a cached artifact would report zeroed phase
-    // times); -j still parallelizes the (app, algorithm) grid.
+    // times); -j still parallelizes the (app, algorithm) grid. The
+    // partitioning quality also shows up as runtime: each point is
+    // simulated with the fixed-latency model and through the NoC
+    // (after the phase timings are captured, so they stay pure).
     std::vector<Row> allRows(apps.size() * kAlgos);
     ctx.forEach(allRows.size(), "fig11", [&](size_t i) {
         workloads::WorkloadConfig cfg;
@@ -53,6 +58,12 @@ main(int argc, char **argv)
         auto r = compiler::compile(w.program, opt);
         allRows[i] = {opt.partitioner, r.resources.pcus,
                       r.phaseMs("partition") + r.phaseMs("merge")};
+        runtime::RunConfig rc;
+        rc.compiler = opt;
+        rc.preCompiled = &r;
+        runtime::RunOutcome sim = runtime::runWorkload(w, rc);
+        allRows[i].cycles = sim.sim.cycles;
+        allRows[i].nocCycles = nocCycles(w, rc, sim);
     });
 
     BenchJson out("fig11");
@@ -63,13 +74,16 @@ main(int argc, char **argv)
         int best = INT32_MAX;
         for (const auto &row : rows)
             best = std::min(best, row.pcus);
-        Table t({"algorithm", "PCUs", "normalized", "compile ms"});
+        Table t({"algorithm", "PCUs", "normalized", "compile ms",
+                 "cycles", "cycles (noc)"});
         for (const auto &row : rows) {
             double norm =
                 static_cast<double>(row.pcus) / std::max(1, best);
             t.addRow({compiler::partitionAlgoName(row.algo),
                       std::to_string(row.pcus), Table::fmtX(norm),
-                      Table::fmt(row.partMs, 1)});
+                      Table::fmt(row.partMs, 1),
+                      std::to_string(row.cycles),
+                      std::to_string(row.nocCycles)});
             out.beginRow()
                 .kv("app", name)
                 .kv("algorithm",
@@ -77,6 +91,8 @@ main(int argc, char **argv)
                 .kv("pcus", row.pcus)
                 .kv("normalized", norm)
                 .kv("partition_ms", row.partMs)
+                .kv("cycles", row.cycles)
+                .kv("noc_cycles", row.nocCycles)
                 .endRow();
         }
         std::printf("-- %s --\n%s", name.c_str(), t.str().c_str());

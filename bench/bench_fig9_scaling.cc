@@ -18,7 +18,15 @@ using namespace sara::bench;
 
 namespace {
 
-runtime::RunOutcome
+/** One sweep point: the fixed-latency outcome plus the cycle count of
+ *  the same compiled graph re-simulated through the contended NoC. */
+struct Point9
+{
+    runtime::RunOutcome r;
+    uint64_t nocCycles = 0;
+};
+
+Point9
 run(const BenchContext &ctx, const std::string &name, int par,
     bool allOpts = true)
 {
@@ -38,7 +46,10 @@ run(const BenchContext &ctx, const std::string &name, int par,
         rc.compiler.enableControlReduction = false;
     }
     ctx.configure(rc);
-    return runtime::runWorkload(w, rc);
+    Point9 pt;
+    pt.r = runtime::runWorkload(w, rc);
+    pt.nocCycles = nocCycles(w, rc, pt.r);
+    return pt;
 }
 
 void
@@ -49,7 +60,7 @@ fig9a(const BenchContext &ctx, BenchJson &out)
     const std::vector<std::string> apps = {"mlp", "rf"};
 
     // Sweep points run in parallel; rows are emitted in order below.
-    std::vector<runtime::RunOutcome> results(apps.size() * pars.size());
+    std::vector<Point9> results(apps.size() * pars.size());
     ctx.forEach(results.size(), "fig9a", [&](size_t i) {
         results[i] =
             run(ctx, apps[i / pars.size()], pars[i % pars.size()]);
@@ -57,15 +68,17 @@ fig9a(const BenchContext &ctx, BenchJson &out)
 
     for (size_t a = 0; a < apps.size(); ++a) {
         const std::string &name = apps[a];
-        Table t({"par", "cycles", "speedup", "PCUs", "PMUs", "AGs",
-                 "DRAM GB/s", "fits"});
+        Table t({"par", "cycles", "cycles (noc)", "speedup", "PCUs",
+                 "PMUs", "AGs", "DRAM GB/s", "fits"});
         double base = 0.0;
         for (size_t p = 0; p < pars.size(); ++p) {
             int par = pars[p];
-            const auto &r = results[a * pars.size() + p];
+            const auto &r = results[a * pars.size() + p].r;
+            uint64_t noc = results[a * pars.size() + p].nocCycles;
             if (base == 0.0)
                 base = static_cast<double>(r.sim.cycles);
             t.addRow({std::to_string(par), std::to_string(r.sim.cycles),
+                      std::to_string(noc),
                       Table::fmtX(base / r.sim.cycles),
                       std::to_string(r.compiled.resources.pcus),
                       std::to_string(r.compiled.resources.pmus),
@@ -77,6 +90,7 @@ fig9a(const BenchContext &ctx, BenchJson &out)
                 .kv("app", name)
                 .kv("par", par)
                 .kv("cycles", r.sim.cycles)
+                .kv("noc_cycles", noc)
                 .kv("speedup", base / r.sim.cycles)
                 .kv("pcus", r.compiled.resources.pcus)
                 .kv("pmus", r.compiled.resources.pmus)
@@ -101,16 +115,18 @@ fig9b(const BenchContext &ctx, BenchJson &out)
             bool opts;
             uint64_t cycles;
             int resources;
+            uint64_t nocCycles;
         };
         std::vector<Point> pts(pars.size() * 2);
         ctx.forEach(pts.size(), "fig9b-" + name, [&](size_t i) {
             int par = pars[i / 2];
             bool opts = i % 2 == 0;
-            auto r = run(ctx, name, par, opts);
-            pts[i] = {par, opts, r.sim.cycles,
-                      r.compiled.resources.total()};
+            auto pt = run(ctx, name, par, opts);
+            pts[i] = {par, opts, pt.r.sim.cycles,
+                      pt.r.compiled.resources.total(), pt.nocCycles};
         });
-        Table t({"par", "opts", "cycles", "total PUs", "pareto"});
+        Table t({"par", "opts", "cycles", "cycles (noc)", "total PUs",
+                 "pareto"});
         for (const auto &pt : pts) {
             bool dominated = false;
             for (const auto &other : pts)
@@ -121,6 +137,7 @@ fig9b(const BenchContext &ctx, BenchJson &out)
                     dominated = true;
             t.addRow({std::to_string(pt.par), pt.opts ? "all" : "none",
                       std::to_string(pt.cycles),
+                      std::to_string(pt.nocCycles),
                       std::to_string(pt.resources),
                       dominated ? "" : "*"});
             out.beginRow()
@@ -129,6 +146,7 @@ fig9b(const BenchContext &ctx, BenchJson &out)
                 .kv("par", pt.par)
                 .kv("opts", pt.opts)
                 .kv("cycles", pt.cycles)
+                .kv("noc_cycles", pt.nocCycles)
                 .kv("total_units", pt.resources)
                 .kv("pareto", !dominated)
                 .endRow();

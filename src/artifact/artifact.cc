@@ -322,6 +322,12 @@ encodeGraph(Encoder &e, const Vudfg &g)
         e.i32(s.depth);
         e.i32(s.latency);
         e.i32(s.srcLop);
+        e.u32(static_cast<uint32_t>(s.route.size()));
+        for (const RouteLink &rl : s.route) {
+            e.i32(rl.x);
+            e.i32(rl.y);
+            e.u8(static_cast<uint8_t>(rl.dir));
+        }
     }
 }
 
@@ -418,6 +424,17 @@ decodeGraph(Decoder &d)
         s.depth = d.i32();
         s.latency = d.i32();
         s.srcLop = d.i32();
+        size_t hops = d.count(9);
+        s.route.reserve(hops);
+        for (size_t h = 0; h < hops; ++h) {
+            RouteLink rl;
+            rl.x = static_cast<int16_t>(d.i32());
+            rl.y = static_cast<int16_t>(d.i32());
+            rl.dir = static_cast<LinkDir>(d.u8());
+            if (rl.dir > LinkDir::South)
+                throw ArtifactError("artifact: bad route direction");
+            s.route.push_back(rl);
+        }
     }
     return g;
 }

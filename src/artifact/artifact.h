@@ -41,7 +41,7 @@ namespace sara::artifact {
 
 /** Bumped whenever any encoding below changes shape. Participates in
  *  content keys, so stale cache entries self-invalidate. */
-inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr uint32_t kFormatVersion = 2; ///< v2: stream routes.
 
 // --- Component codecs (exposed for tests) ---
 void encodeProgram(Encoder &e, const ir::Program &p);

@@ -105,6 +105,8 @@ compile(const ir::Program &input, const CompilerOptions &options)
         span.stat("wirelength", pnr.wirelength);
         span.stat("max-link-load", pnr.maxLinkLoad);
         span.stat("avg-stream-latency", pnr.avgStreamLatency);
+        span.stat("routed-streams", pnr.routedStreams);
+        span.stat("route-hops", pnr.totalRouteHops);
     }
 
     // 6. Retiming: deepen FIFOs on imbalanced reconvergent paths

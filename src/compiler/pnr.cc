@@ -246,17 +246,35 @@ placeAndRoute(dfg::Vudfg &graph, const CompilerOptions &options)
         u.placeY = cell.y;
     }
 
-    // --- Route (X-Y dimension order) for congestion estimation. ---
-    // Links: horizontal (y, min(x1,x2)..) and vertical segments.
-    std::map<std::pair<int, int>, int> hLink, vLink; // (coord,pos) use.
-    auto routeUse = [&](int x1, int y1, int x2, int y2) {
-        int load = 0;
-        for (int x = std::min(x1, x2); x < std::max(x1, x2); ++x)
-            load = std::max(load, ++hLink[{y1, x}]);
-        for (int y = std::min(y1, y2); y < std::max(y1, y2); ++y)
-            load = std::max(load, ++vLink[{x2, y}]);
-        return load;
+    // --- Route (X-Y dimension order). ---
+    // Each stream gets the explicit sequence of directed links it
+    // crosses (X run at the source row, then Y run at the destination
+    // column); per-link loads over those routes drive the congestion
+    // estimate, and the cycle-level NoC replays the exact same routes,
+    // so `maxLinkLoad` here equals the network's measured peak
+    // streams-per-link by construction (asserted in tests/test_noc.cc).
+    auto buildRoute = [](int x1, int y1, int x2, int y2) {
+        std::vector<dfg::RouteLink> route;
+        int x = x1, y = y1;
+        while (x != x2) {
+            bool east = x2 > x;
+            route.push_back({static_cast<int16_t>(x),
+                             static_cast<int16_t>(y),
+                             east ? dfg::LinkDir::East
+                                  : dfg::LinkDir::West});
+            x += east ? 1 : -1;
+        }
+        while (y != y2) {
+            bool south = y2 > y;
+            route.push_back({static_cast<int16_t>(x),
+                             static_cast<int16_t>(y),
+                             south ? dfg::LinkDir::South
+                                   : dfg::LinkDir::North});
+            y += south ? 1 : -1;
+        }
+        return route;
     };
+    std::map<dfg::RouteLink, int> linkLoad; // streams per directed link
     const int linkCapacity = 8;
     double latencySum = 0.0;
     int latencyCount = 0;
@@ -265,12 +283,18 @@ placeAndRoute(dfg::Vudfg &graph, const CompilerOptions &options)
         const auto &du = graph.unit(s.dst);
         if (su.mergedInto == du.mergedInto) {
             s.latency = 1; // Same physical unit.
+            s.route.clear();
             continue;
         }
-        int dist = std::abs(su.placeX - du.placeX) +
-                   std::abs(su.placeY - du.placeY);
-        int load = routeUse(su.placeX, su.placeY, du.placeX, du.placeY);
+        s.route =
+            buildRoute(su.placeX, su.placeY, du.placeX, du.placeY);
+        int dist = static_cast<int>(s.route.size());
+        int load = 0;
+        for (const auto &link : s.route)
+            load = std::max(load, ++linkLoad[link]);
         report.maxLinkLoad = std::max(report.maxLinkLoad, load);
+        report.routedStreams += dist > 0;
+        report.totalRouteHops += dist;
         int congestion = std::max(0, load - linkCapacity);
         s.latency = std::max(spec.net.minLatency,
                              spec.net.ejectLatency +

@@ -22,8 +22,12 @@ struct PnrReport
     int gridRows = 0;
     int gridCols = 0;   ///< May exceed the spec for oversized designs.
     double wirelength = 0.0;
+    /** Peak streams sharing one directed link (== the NoC's static
+     *  per-link registration count; see tests/test_noc.cc). */
     int maxLinkLoad = 0;
     double avgStreamLatency = 0.0;
+    int routedStreams = 0;  ///< Streams with a non-empty physical route.
+    int totalRouteHops = 0; ///< Sum of route lengths (directed links).
 };
 
 /** Place groups, set VUnit::placeX/Y and Stream::latency. */

@@ -164,6 +164,18 @@ kindName(VuKind k)
 
 } // namespace
 
+const char *
+linkDirName(LinkDir d)
+{
+    switch (d) {
+      case LinkDir::East: return "E";
+      case LinkDir::West: return "W";
+      case LinkDir::North: return "N";
+      case LinkDir::South: return "S";
+    }
+    return "?";
+}
+
 std::string
 Vudfg::str() const
 {

@@ -54,6 +54,35 @@ enum class StreamKind : uint8_t {
     Token, ///< Pure synchronization pulse (CMMC token / credit).
 };
 
+/** Direction of a directed mesh link (X-Y dimension-order routes only
+ *  ever turn once, from a horizontal run into a vertical run). */
+enum class LinkDir : uint8_t { East, West, North, South };
+
+/** One directed link of the static network: the channel leaving the
+ *  switch at cell (x, y) towards `dir`. AG fringe columns sit at
+ *  x = -1 and x = cols, so x may be negative. */
+struct RouteLink
+{
+    int16_t x = 0;
+    int16_t y = 0;
+    LinkDir dir = LinkDir::East;
+
+    bool operator==(const RouteLink &o) const
+    {
+        return x == o.x && y == o.y && dir == o.dir;
+    }
+    bool operator<(const RouteLink &o) const
+    {
+        if (x != o.x)
+            return x < o.x;
+        if (y != o.y)
+            return y < o.y;
+        return dir < o.dir;
+    }
+};
+
+const char *linkDirName(LinkDir d);
+
 /** A stream edge between two virtual units. */
 struct Stream
 {
@@ -68,6 +97,11 @@ struct Stream
     int depth = 8;      ///< FIFO capacity in elements (hardware b_d).
     int latency = 1;    ///< Network latency in cycles (set by PnR).
     int srcLop = -1;    ///< Local op at src whose value is pushed (data).
+    /** Physical dimension-order route (set by PnR): the directed links
+     *  crossed from src cell to dst cell, in traversal order. Empty for
+     *  intra-cell streams and for co-located endpoints; the cycle-level
+     *  NoC model falls back to the scalar `latency` for those. */
+    std::vector<RouteLink> route;
 };
 
 /** One counter in a unit's chain. */

@@ -1,5 +1,6 @@
 #include "runtime/run.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
@@ -31,6 +32,16 @@ runWorkload(const workloads::Workload &w, const RunConfig &config)
     // (one unified Chrome-trace file per run).
     sim::SimOptions simOpt = config.sim;
     simOpt.compileSpans = &out.compiled.phases;
+    // NoC timing mirrors the chip's network spec (the same numbers PnR
+    // used for its scalar estimates). Tokens ride the arbitrated
+    // network only under CMMC; the vanilla FSM control uses dedicated
+    // control bits, so they keep their scalar latency there.
+    const auto &net = config.compiler.spec.net;
+    simOpt.noc.hopLatency = net.hopLatency;
+    simOpt.noc.ejectLatency = net.ejectLatency;
+    simOpt.noc.minLatency = net.minLatency;
+    simOpt.noc.routeTokens =
+        config.compiler.control == compiler::ControlScheme::Cmmc;
 
     sim::Simulator simulator(out.compiled.program,
                              out.compiled.lowering.graph, config.dram,
@@ -159,6 +170,38 @@ jsonReport(const workloads::Workload &w, const RunConfig &config,
     j.kv("achieved_gbs", r.dramGBs());
     j.kv("peak_gbs", config.dram.totalGBs());
     j.endObject();
+    if (r.sim.noc.enabled) {
+        const auto &n = r.sim.noc;
+        j.key("noc").beginObject();
+        j.kv("links", n.links);
+        j.kv("peak_stream_load", n.peakStreamLoad);
+        j.kv("flits", n.flits);
+        j.kv("hops", n.hops);
+        j.kv("queue_cycles", n.queueCycles);
+        j.kv("peak_inflight", n.peakInflight);
+        // The handful of busiest links (by flit-cycles queued) — the
+        // hotspots a floorplan fix would target.
+        auto links = n.linkUse;
+        std::stable_sort(links.begin(), links.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.waitCycles > b.waitCycles;
+                         });
+        if (links.size() > 10)
+            links.resize(10);
+        j.key("hot_links").beginArray();
+        for (const auto &lu : links) {
+            j.beginObject();
+            j.kv("x", lu.link.x).kv("y", lu.link.y);
+            j.kv("dir", dfg::linkDirName(lu.link.dir));
+            j.kv("streams", lu.streams);
+            j.kv("traversals", lu.traversals);
+            j.kv("wait_cycles", lu.waitCycles);
+            j.kv("queue_high_water", lu.queueHighWater);
+            j.endObject();
+        }
+        j.endArray();
+        j.endObject();
+    }
     const auto &g = r.compiled.lowering.graph;
     j.key("units").beginArray();
     for (const auto &u : g.units()) {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "dfg/vudfg.h"
+#include "noc/noc.h"
 #include "sim/task.h"
 #include "support/logging.h"
 
@@ -28,11 +29,16 @@ using Element = std::vector<double>;
 class FifoState
 {
   public:
+    /** With a NoC model attached (and a routed stream), in-flight
+     *  elements traverse the cycle-level network instead of the fixed
+     *  `latency`-cycle delay; the credit window is unchanged. */
     void
-    init(Scheduler &sched, const dfg::Stream &spec)
+    init(Scheduler &sched, const dfg::Stream &spec,
+         noc::NocModel *noc = nullptr)
     {
         sched_ = &sched;
         spec_ = &spec;
+        noc_ = noc && noc->participates(spec.id) ? noc : nullptr;
         isToken_ = spec.kind == dfg::StreamKind::Token;
         latency_ = static_cast<uint64_t>(spec.latency);
         // In-flight elements occupy per-hop network registers, not the
@@ -55,15 +61,34 @@ class FifoState
     size_t occupancy() const { return stored_.size() + inflight_.size(); }
     bool hasSpace() const { return occupancy() < capacity_; }
 
-    /** Push now; delivered after the stream latency, in order. */
+    /** True when the stream rides the cycle-level network. */
+    bool onNoc() const { return noc_ != nullptr; }
+
+    /** NoC admission: the first-hop link buffer can take a flit.
+     *  Always true for fixed-latency streams. A producer blocked here
+     *  (with credit space available) is stalled on the *network*. */
+    bool canInject() const
+    {
+        return !noc_ || noc_->canAccept(spec_->id);
+    }
+
+    /** Wait list for `canInject` (only valid when `onNoc()`). */
+    CondVar &injectCv() { return noc_->acceptCv(spec_->id); }
+
+    /** Push now; delivered after the stream latency (or the network
+     *  transit time when a NoC is attached), in order. */
     void
     push(Element v)
     {
         SARA_ASSERT(hasSpace(), "push to full fifo ", spec_->name);
+        SARA_ASSERT(canInject(), "push to blocked link ", spec_->name);
         inflight_.push_back(std::move(v));
         ++pushes_;
         noteOccupancy();
-        scheduleDelivery(sched_->now() + latency_);
+        if (noc_)
+            noc_->inject(spec_->id, deliverTrampoline, this);
+        else
+            scheduleDelivery(sched_->now() + latency_);
     }
 
     /** Push with an explicit extra delay (DRAM responses). */
@@ -74,7 +99,11 @@ class FifoState
         inflight_.push_back(std::move(v));
         ++pushes_;
         noteOccupancy();
-        scheduleDelivery(sched_->now() + latency_ + extraDelay);
+        if (noc_)
+            noc_->injectAt(spec_->id, sched_->now() + extraDelay,
+                           deliverTrampoline, this);
+        else
+            scheduleDelivery(sched_->now() + latency_ + extraDelay);
     }
 
     const Element &
@@ -133,8 +162,16 @@ class FifoState
         dataCv.notifyAll();
     }
 
+    /** NoC ejection callback (per-stream order is guaranteed). */
+    static void
+    deliverTrampoline(void *p)
+    {
+        static_cast<FifoState *>(p)->deliverOne();
+    }
+
     Scheduler *sched_ = nullptr;
     const dfg::Stream *spec_ = nullptr;
+    noc::NocModel *noc_ = nullptr;
     std::deque<Element> stored_;
     std::deque<Element> inflight_;
     uint64_t capacity_ = 0;

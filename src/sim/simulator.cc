@@ -66,6 +66,7 @@ stallCauseName(StallCause cause)
       case StallCause::DramLatency: return "dram-latency";
       case StallCause::BankConflict: return "bank-conflict";
       case StallCause::BusContention: return "bus-contention";
+      case StallCause::Network: return "network";
     }
     return "?";
 }
@@ -145,9 +146,15 @@ Simulator::buildState()
 {
     g_.validate();
 
+    if (opt_.useNoc) {
+        noc_ = std::make_unique<noc::NocModel>(sched_, opt_.noc);
+        for (size_t i = 0; i < g_.numStreams(); ++i)
+            noc_->registerStream(g_.stream(dfg::StreamId(i)));
+    }
+
     fifos_.resize(g_.numStreams());
     for (size_t i = 0; i < g_.numStreams(); ++i)
-        fifos_[i].init(sched_, g_.stream(dfg::StreamId(i)));
+        fifos_[i].init(sched_, g_.stream(dfg::StreamId(i)), noc_.get());
 
     // Memory groups.
     for (const auto &u : g_.units()) {
@@ -280,13 +287,31 @@ Task
 Simulator::awaitSpace(Engine &e, FifoState &f, StallCause cause,
                       const char *why)
 {
-    while (!f.hasSpace()) {
-        e.blockReason = why;
-        e.blockDetail = f.spec().name;
-        uint64_t blockedAt = sched_.now();
-        co_await f.spaceCv.wait();
-        e.stats.stallCycles[static_cast<int>(cause)] +=
-            sched_.now() - blockedAt;
+    // Two independent admission gates, each with its own attribution:
+    // the end-to-end credit window (consumer backpressure -> `cause`,
+    // normally Credit) and, on NoC runs, the first-hop link buffer
+    // (network contention -> Network). Both are re-checked after every
+    // wakeup; the cycles blocked on each gate are disjoint.
+    while (true) {
+        if (!f.hasSpace()) {
+            e.blockReason = why;
+            e.blockDetail = f.spec().name;
+            uint64_t blockedAt = sched_.now();
+            co_await f.spaceCv.wait();
+            e.stats.stallCycles[static_cast<int>(cause)] +=
+                sched_.now() - blockedAt;
+            continue;
+        }
+        if (!f.canInject()) {
+            e.blockReason = "link busy";
+            e.blockDetail = f.spec().name;
+            uint64_t blockedAt = sched_.now();
+            co_await f.injectCv().wait();
+            e.stats.stallCycles[static_cast<int>(
+                StallCause::Network)] += sched_.now() - blockedAt;
+            continue;
+        }
+        break;
     }
     e.blockReason = "";
 }
@@ -877,6 +902,8 @@ Simulator::run()
     }
     result.dramOutstanding = dramOutstandingSeries_;
     result.dramBytesSeries = dramBytesSeries_;
+    if (noc_)
+        result.noc = noc_->stats();
     if (!opt_.traceFile.empty())
         writeTrace();
     result.dramBytes = dram_.bytesTransferred();
@@ -971,6 +998,17 @@ Simulator::writeTrace() const
                       (v - prevBytes) / static_cast<double>(t - prevT));
         prevT = t;
         prevBytes = v;
+    }
+    if (noc_) {
+        // Link-load tracks: flits inside the network and links with a
+        // queued flit, sampled on every inject/deliver transition.
+        noc::NocStats ns = noc_->stats();
+        for (const auto &[t, v] : ns.load.samples())
+            w.counter(kSimPid, "noc-link-load", static_cast<double>(t),
+                      "flits", v);
+        for (const auto &[t, v] : ns.busyLinks.samples())
+            w.counter(kSimPid, "noc-busy-links", static_cast<double>(t),
+                      "links", v);
     }
 
     size_t events = w.eventsWritten();

@@ -39,6 +39,7 @@
 #include "dfg/vudfg.h"
 #include "dram/dram.h"
 #include "ir/program.h"
+#include "noc/noc.h"
 #include "sim/fifo.h"
 #include "sim/task.h"
 #include "support/telemetry.h"
@@ -53,6 +54,13 @@ struct SimOptions
     uint64_t maxWhileRounds = 1'000'000;
     /** Max outstanding DRAM requests per AG. */
     int agOutstanding = 64;
+    /** Route streams through the cycle-level NoC model (src/noc)
+     *  instead of the fixed per-stream latency stamped by PnR. Off by
+     *  default: the legacy fixed-latency model stays the baseline. */
+    bool useNoc = false;
+    /** Network parameters for `useNoc` (filled from the chip's
+     *  arch::NetSpec by the runtime layer). */
+    noc::NocSpec noc;
     /** When non-empty, write a Chrome-trace (chrome://tracing /
      *  Perfetto) JSON timeline of every engine firing here. The trace
      *  is also flushed on deadlock, so the evidence survives the
@@ -76,8 +84,9 @@ enum class StallCause : uint8_t {
     DramLatency,   ///< DRAM outstanding window full or write drain.
     BankConflict,  ///< Serialized lanes colliding on a PMU bank.
     BusContention, ///< PMU read/write port bus busy.
+    Network,       ///< NoC first-hop link buffer full (contention).
 };
-inline constexpr int kNumStallCauses = 6;
+inline constexpr int kNumStallCauses = 7;
 
 const char *stallCauseName(StallCause cause);
 
@@ -136,6 +145,8 @@ struct SimResult
      *  and cumulative bytes transferred (both vs. cycle). */
     telemetry::TimeSeries dramOutstanding;
     telemetry::TimeSeries dramBytesSeries;
+    /** Network statistics (enabled=false on fixed-latency runs). */
+    noc::NocStats noc;
     /** Final memory contents per tensor id (reconstructed across
      *  shards; on-chip tensors read from the most recently written
      *  multibuffer copy). */
@@ -195,6 +206,7 @@ class Simulator
     SimOptions opt_;
     Scheduler sched_;
     dram::DramModel dram_;
+    std::unique_ptr<noc::NocModel> noc_; ///< Non-null when useNoc.
 
     /** DRAM requests in flight across every AG (telemetry). */
     int dramOutstanding_ = 0;

@@ -36,10 +36,16 @@ testOptions()
 
 /** Simulate a compiled result the way runtime::runWorkload does. */
 sim::SimResult
-simulate(const workloads::Workload &w, const compiler::CompileResult &r)
+simulate(const workloads::Workload &w, const compiler::CompileResult &r,
+         bool useNoc = false)
 {
+    sim::SimOptions opt;
+    // The NoC replays the routes the artifact carries, so a decoded
+    // artifact must also be cycle-identical under `--noc` (the default
+    // NocSpec mirrors arch::NetSpec, Cmmc control routes tokens).
+    opt.useNoc = useNoc;
     sim::Simulator simulator(r.program, r.lowering.graph,
-                             dram::DramSpec::hbm2(), {});
+                             dram::DramSpec::hbm2(), opt);
     for (const auto &[tid, data] : w.dramInputs)
         simulator.setDramTensor(ir::TensorId(tid), data);
     return simulator.run();
@@ -97,6 +103,19 @@ TEST(Artifact, CompileResultRoundTripIsCycleIdentical)
         EXPECT_EQ(r.partitionsCreated, back.partitionsCreated) << name;
         EXPECT_EQ(r.unitsMerged, back.unitsMerged) << name;
 
+        // Physical routes survive the trip (v2 codec): the graph dump
+        // omits them, so compare link by link.
+        const auto &sa = r.lowering.graph.streams();
+        const auto &sb = back.lowering.graph.streams();
+        ASSERT_EQ(sa.size(), sb.size()) << name;
+        for (size_t i = 0; i < sa.size(); ++i) {
+            ASSERT_EQ(sa[i].route.size(), sb[i].route.size())
+                << name << " stream " << sa[i].name;
+            for (size_t h = 0; h < sa[i].route.size(); ++h)
+                EXPECT_TRUE(sa[i].route[h] == sb[i].route[h])
+                    << name << " stream " << sa[i].name << " hop " << h;
+        }
+
         auto simA = simulate(w, r);
         auto simB = simulate(w, back);
         EXPECT_EQ(simA.cycles, simB.cycles) << name;
@@ -111,6 +130,22 @@ TEST(Artifact, CompileResultRoundTripIsCycleIdentical)
         for (size_t t = 0; t < simA.tensors.size(); ++t)
             EXPECT_EQ(simA.tensors[t], simB.tensors[t])
                 << name << " tensor " << t;
+
+        // And again through the cycle-level NoC: contended timing is a
+        // pure function of the routes, so the decoded artifact must
+        // replay cycle-for-cycle there too.
+        auto nocA = simulate(w, r, /*useNoc=*/true);
+        auto nocB = simulate(w, back, /*useNoc=*/true);
+        EXPECT_EQ(nocA.cycles, nocB.cycles) << name << " (noc)";
+        EXPECT_EQ(nocA.totalFirings, nocB.totalFirings)
+            << name << " (noc)";
+        EXPECT_EQ(nocA.noc.flits, nocB.noc.flits) << name << " (noc)";
+        EXPECT_EQ(nocA.noc.hops, nocB.noc.hops) << name << " (noc)";
+        EXPECT_EQ(nocA.noc.queueCycles, nocB.noc.queueCycles)
+            << name << " (noc)";
+        for (int c = 0; c < sim::kNumStallCauses; ++c)
+            EXPECT_EQ(nocA.stallTotals[c], nocB.stallTotals[c])
+                << name << " (noc) stall cause " << c;
     }
 }
 

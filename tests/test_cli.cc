@@ -60,6 +60,19 @@ TEST(Cli, SuccessfulRunExitsZero)
         << r.output;
 }
 
+TEST(Cli, NocRunVerifiesAndPrintsLinkStats)
+{
+    // --noc-stats implies --noc; the run must still verify (the NoC
+    // only changes timing) and print the network summary + link table.
+    auto r = runSarac("ms --par 8 --check --noc-stats");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("verification: PASS"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("noc:"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("wait-cycles"), std::string::npos)
+        << r.output;
+}
+
 TEST(Cli, UsageErrorsExitTwo)
 {
     EXPECT_EQ(runSarac("--frobnicate").exitCode, 2);

@@ -102,6 +102,150 @@ TEST(Fifo, InitTokens)
     EXPECT_TRUE(f.empty());
 }
 
+// --- Credit-window edge cases ---------------------------------------------
+
+/** Push `n` sequentially numbered elements, honouring credits. */
+Task
+creditedProducer(Scheduler &sched, FifoState &f, int n,
+                 std::vector<uint64_t> &pushAt)
+{
+    for (int i = 0; i < n; ++i) {
+        while (!f.hasSpace())
+            co_await f.spaceCv.wait();
+        f.push({static_cast<double>(i)});
+        pushAt.push_back(sched.now());
+    }
+}
+
+/** Pop `n` elements as they arrive. */
+Task
+creditedConsumer(Scheduler &sched, FifoState &f, int n,
+                 std::vector<double> &got, std::vector<uint64_t> &popAt)
+{
+    for (int i = 0; i < n; ++i) {
+        while (f.empty())
+            co_await f.dataCv.wait();
+        got.push_back(f.front()[0]);
+        f.pop();
+        popAt.push_back(sched.now());
+    }
+}
+
+TEST(Fifo, CapacityOneStreamSerializesButNeverDrops)
+{
+    // depth 0 + latency 1 = a credit window of exactly one element:
+    // the degenerate stream the retimer produces for tight backward
+    // edges. Every push must wait for the previous element's credit,
+    // so the pair advances in lock-step, one element per cycle.
+    Scheduler sched;
+    dfg::Stream spec;
+    spec.name = "cap1";
+    spec.depth = 0;
+    spec.latency = 1;
+    FifoState f;
+    f.init(sched, spec);
+    ASSERT_EQ(f.capacity(), 1u);
+
+    std::vector<uint64_t> pushAt, popAt;
+    std::vector<double> got;
+    const int n = 5;
+    Task prod = creditedProducer(sched, f, n, pushAt);
+    Task cons = creditedConsumer(sched, f, n, got, popAt);
+    sched.scheduleAt(prod.handle(), 0);
+    sched.scheduleAt(cons.handle(), 0);
+    sched.run();
+
+    ASSERT_TRUE(prod.done());
+    ASSERT_TRUE(cons.done());
+    EXPECT_EQ(got, (std::vector<double>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(f.highWater(), 1u); // Never more than the one credit.
+    for (int i = 0; i < n; ++i) {
+        // Element i enters the wire the cycle element i-1's credit
+        // returns and is consumed one latency later.
+        EXPECT_EQ(pushAt[i], static_cast<uint64_t>(i)) << i;
+        EXPECT_EQ(popAt[i], static_cast<uint64_t>(i + 1)) << i;
+    }
+}
+
+TEST(Fifo, CreditReturnsTheSameCycleAsThePop)
+{
+    // A producer parked on a full window must be able to push in the
+    // very cycle the consumer pops — a one-cycle credit bubble here
+    // would desynchronize every engine pair in steady state.
+    Scheduler sched;
+    dfg::Stream spec;
+    spec.name = "window";
+    spec.depth = 2;
+    spec.latency = 3;
+    FifoState f;
+    f.init(sched, spec);
+    ASSERT_EQ(f.capacity(), 5u);
+
+    std::vector<uint64_t> pushAt, popAt;
+    std::vector<double> got;
+    const int n = 6; // One more than the window.
+    Task prod = creditedProducer(sched, f, n, pushAt);
+    Task cons = creditedConsumer(sched, f, n, got, popAt);
+    sched.scheduleAt(prod.handle(), 0);
+    sched.scheduleAt(cons.handle(), 0);
+    sched.run();
+
+    ASSERT_TRUE(prod.done());
+    ASSERT_TRUE(cons.done());
+    // The window fills in cycle 0; the first element arrives (and is
+    // popped) at `latency`, and the blocked sixth push lands in that
+    // same cycle.
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(pushAt[i], 0u) << i;
+    EXPECT_EQ(popAt[0], 3u);
+    EXPECT_EQ(pushAt[5], popAt[0]);
+    EXPECT_EQ(got, (std::vector<double>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(Fifo, BlockedProducerDrainsAfterStall)
+{
+    // Fill-then-drain recovery: with no consumer attached the producer
+    // runs the window dry and the event queue drains with the
+    // coroutine parked on spaceCv — exactly the shape the deadlock
+    // detector reports. Popping from outside must wake it and the
+    // stream must deliver everything, in order, with no lost credits.
+    Scheduler sched;
+    dfg::Stream spec;
+    spec.name = "drain";
+    spec.depth = 1;
+    spec.latency = 1;
+    FifoState f;
+    f.init(sched, spec);
+    ASSERT_EQ(f.capacity(), 2u);
+
+    std::vector<uint64_t> pushAt;
+    const int n = 8;
+    Task prod = creditedProducer(sched, f, n, pushAt);
+    sched.scheduleAt(prod.handle(), 0);
+    sched.run();
+
+    // Stalled: window full, producer parked, nothing scheduled.
+    EXPECT_FALSE(prod.done());
+    EXPECT_FALSE(f.hasSpace());
+    EXPECT_TRUE(f.spaceCv.hasWaiters());
+    EXPECT_TRUE(sched.idle());
+
+    std::vector<double> got;
+    while (got.size() < static_cast<size_t>(n)) {
+        ASSERT_FALSE(f.empty()) << "drain starved at " << got.size();
+        while (!f.empty()) {
+            got.push_back(f.front()[0]);
+            f.pop();
+        }
+        sched.run(); // Restart the producer off the returned credits.
+    }
+    ASSERT_TRUE(prod.done());
+    EXPECT_FALSE(f.spaceCv.hasWaiters());
+    EXPECT_EQ(got, (std::vector<double>{0, 1, 2, 3, 4, 5, 6, 7}));
+    EXPECT_EQ(f.pushes(), static_cast<uint64_t>(n));
+    EXPECT_EQ(f.pops(), static_cast<uint64_t>(n));
+}
+
 TEST(Dram, SequentialStreamsSaturateBandwidth)
 {
     auto spec = dram::DramSpec::hbm2();

@@ -23,6 +23,11 @@
  *                      duplication
  *   --check            validate against the sequential interpreter
  *   --max-cycles N     simulator cycle budget (deadlock safety valve)
+ *   --noc              simulate streams through the cycle-level NoC
+ *                      model (per-link arbitration + backpressure)
+ *                      instead of the fixed PnR latencies
+ *   --noc-stats        print the per-link network utilization table
+ *                      (implies --noc)
  *   --trace FILE       write a unified Chrome trace (compile phases +
  *                      every firing + DRAM counter tracks)
  *   --json FILE        write a machine-readable run report (single:
@@ -48,6 +53,7 @@
  * deadlock).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -73,7 +79,8 @@ usage()
                  "usage: sarac <workload> [--par N] [--scale N] "
                  "[--dram hbm2|ddr3] [--chip paper|vanilla|tiny]\n"
                  "             [--control cmmc|fsm] [--partitioner ALG] "
-                 "[--no-OPT ...] [--check] [--max-cycles N]\n"
+                 "[--no-OPT ...] [--check] [--max-cycles N] "
+                 "[--noc] [--noc-stats]\n"
                  "             [--trace FILE] [--json FILE] "
                  "[--dump-graph] [--units] [--stalls]\n"
                  "             [--cache] [--cache-dir DIR] "
@@ -93,6 +100,7 @@ struct CliOptions
     bool batch = false;
     int threads = 0;
     bool dumpGraph = false, unitTable = false, stallTable = false;
+    bool nocStats = false;
     bool metrics = false;
     std::string jsonFile;
     std::string cacheDir;
@@ -135,6 +143,20 @@ printReport(const workloads::Workload &w, const CliOptions &cli,
                 static_cast<unsigned long long>(r.sim.cycles),
                 r.timeUs(), r.gflops(), r.dramGBs(),
                 r.sim.avgComputeUtilization);
+    if (r.sim.noc.enabled) {
+        const auto &n = r.sim.noc;
+        std::printf("noc: %d links (peak %d streams/link), %llu flits "
+                    "over %llu hops, %llu queue cycles, peak %llu in "
+                    "flight, %llu producer stall cycles\n",
+                    n.links, n.peakStreamLoad,
+                    static_cast<unsigned long long>(n.flits),
+                    static_cast<unsigned long long>(n.hops),
+                    static_cast<unsigned long long>(n.queueCycles),
+                    static_cast<unsigned long long>(n.peakInflight),
+                    static_cast<unsigned long long>(
+                        r.sim.stallTotals[static_cast<int>(
+                            sim::StallCause::Network)]));
+    }
     if (r.checked)
         std::printf("verification: %s\n", r.correct ? "PASS" : "FAIL");
 
@@ -179,6 +201,32 @@ printReport(const workloads::Workload &w, const CliOptions &cli,
         total.push_back(std::to_string(r.sim.cycles));
         t.addRow(total);
         std::printf("%s", t.str().c_str());
+    }
+
+    if (cli.nocStats && r.sim.noc.enabled) {
+        // Busiest links first; quiet links (no queueing) are elided.
+        auto links = r.sim.noc.linkUse;
+        std::stable_sort(links.begin(), links.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.traversals > b.traversals;
+                         });
+        Table t({"link", "streams", "traversals", "wait-cycles",
+                 "queue-peak"});
+        int shown = 0;
+        for (const auto &lu : links) {
+            if (lu.traversals == 0 || shown >= 20)
+                break;
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "(%d,%d)%s", lu.link.x,
+                          lu.link.y, dfg::linkDirName(lu.link.dir));
+            t.addRow({buf, std::to_string(lu.streams),
+                      std::to_string(lu.traversals),
+                      std::to_string(lu.waitCycles),
+                      std::to_string(lu.queueHighWater)});
+            ++shown;
+        }
+        std::printf("-- noc links (top %d by traversals) --\n%s",
+                    shown, t.str().c_str());
     }
 }
 
@@ -422,6 +470,11 @@ realMain(int argc, char **argv)
             cli.rc.check = true;
         } else if (arg == "--max-cycles") {
             cli.rc.sim.maxCycles = std::stoull(next());
+        } else if (arg == "--noc") {
+            cli.rc.sim.useNoc = true;
+        } else if (arg == "--noc-stats") {
+            cli.rc.sim.useNoc = true;
+            cli.nocStats = true;
         } else if (arg == "--trace") {
             cli.rc.sim.traceFile = next();
         } else if (arg == "--json") {
