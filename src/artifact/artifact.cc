@@ -734,8 +734,8 @@ writeArtifactFile(const std::string &path, const std::string &key,
     }
 }
 
-LoadedArtifact
-readArtifactFile(const std::string &path)
+std::string
+readArtifactBytes(const std::string &path)
 {
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
@@ -746,7 +746,13 @@ readArtifactFile(const std::string &path)
     while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
         bytes.append(buf, n);
     std::fclose(f);
-    return unpackArtifact(bytes);
+    return bytes;
+}
+
+LoadedArtifact
+readArtifactFile(const std::string &path)
+{
+    return unpackArtifact(readArtifactBytes(path));
 }
 
 } // namespace sara::artifact

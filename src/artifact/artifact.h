@@ -84,6 +84,11 @@ void writeArtifactFile(const std::string &path, const std::string &key,
                        const compiler::CompileResult &r);
 LoadedArtifact readArtifactFile(const std::string &path);
 
+/** Raw container bytes of an artifact file (no parse, no verify).
+ *  Throws ArtifactError when the file cannot be opened. Exposed so the
+ *  cache can interpose fault injection between read and unpack. */
+std::string readArtifactBytes(const std::string &path);
+
 } // namespace sara::artifact
 
 #endif // SARA_ARTIFACT_ARTIFACT_H

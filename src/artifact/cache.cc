@@ -60,7 +60,10 @@ ArtifactCache::lookup(const std::string &key)
         return std::nullopt;
     }
     try {
-        LoadedArtifact art = readArtifactFile(path);
+        std::string bytes = readArtifactBytes(path);
+        if (inj_ && !bytes.empty() && inj_->artifactFlip(key))
+            bytes[inj_->flipOffset(key, bytes.size())] ^= 0x01;
+        LoadedArtifact art = unpackArtifact(bytes);
         if (art.key != key)
             throw ArtifactError("artifact: stored key mismatch");
         count("artifact.cache.hit");
@@ -167,6 +170,10 @@ CachingCompiler::compile(const ir::Program &input,
                          const compiler::CompilerOptions &options)
 {
     std::string key = contentKey(input, options);
+
+    if (inj_ && inj_->compileFault(key))
+        throw TransientError(
+            "injected transient compile fault for key " + key);
 
     // Fast path: already on disk.
     if (cache_) {

@@ -31,6 +31,7 @@
 #include <unordered_map>
 
 #include "artifact/artifact.h"
+#include "fault/fault.h"
 
 namespace sara::artifact {
 
@@ -75,9 +76,21 @@ class ArtifactCache
     /** Remove every cache entry. Returns the number removed. */
     int clear();
 
+    /** Attach a fault injector (may be null). When set, lookups with
+     *  an artifact-flip fault planned for the key read the container
+     *  bytes, flip one byte at the injector-chosen offset, and feed
+     *  the damaged buffer to the normal unpack path — exercising the
+     *  corrupt-entry fallback (drop + recompile) end to end. Not
+     *  owned; must outlive the cache. */
+    void setFaultInjector(const fault::FaultInjector *inj)
+    {
+        inj_ = inj;
+    }
+
   private:
     std::string dir_;
     uint64_t maxBytes_;
+    const fault::FaultInjector *inj_ = nullptr;
 };
 
 /**
@@ -105,10 +118,20 @@ class CachingCompiler
 
     ArtifactCache *cache() const { return cache_; }
 
+    /** Attach a fault injector (may be null). Compile-fault plans make
+     *  compile() throw support::TransientError for the first `count`
+     *  attempts per key — the hook the jobs runner's retry-with-backoff
+     *  is tested against. Not owned; must outlive the compiler. */
+    void setFaultInjector(const fault::FaultInjector *inj)
+    {
+        inj_ = inj;
+    }
+
   private:
     using Shared = std::shared_ptr<Compiled>;
 
     ArtifactCache *cache_;
+    const fault::FaultInjector *inj_ = nullptr;
     std::mutex mu_;
     std::unordered_map<std::string, std::shared_future<Shared>>
         inflight_;

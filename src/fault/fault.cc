@@ -1,0 +1,409 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace sara::fault {
+
+namespace {
+
+/** Bound on the retained log; the total is counted past the cap so a
+ *  high-probability plan (e.g. fifo-leak@1.0) cannot eat memory. */
+constexpr size_t kLogCap = 256;
+
+uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+uint64_t
+fnv1a(const std::string &s)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** Pure decision hash: independent of query order and of every other
+ *  decision, so replays are cycle-identical from the seed alone. */
+double
+unitHash(uint64_t seed, size_t specIdx, const std::string &site,
+         uint64_t cycle)
+{
+    uint64_t h = splitmix64(seed ^ splitmix64(specIdx + 1) ^
+                            fnv1a(site) ^ splitmix64(cycle));
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool
+siteMatches(const FaultSpec &spec, const std::string &site)
+{
+    return spec.site.empty() || site.find(spec.site) != std::string::npos;
+}
+
+bool
+isPermanentKind(FaultKind kind)
+{
+    return kind == FaultKind::StuckCredit ||
+           kind == FaultKind::DramTimeout || kind == FaultKind::FifoLeak;
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::NocDelay: return "noc-delay";
+      case FaultKind::NocDup: return "noc-dup";
+      case FaultKind::StuckCredit: return "stuck-credit";
+      case FaultKind::DramTimeout: return "dram-timeout";
+      case FaultKind::DramTail: return "dram-tail";
+      case FaultKind::FifoLeak: return "fifo-leak";
+      case FaultKind::ArtifactFlip: return "artifact-flip";
+      case FaultKind::CompileFault: return "compile-fault";
+    }
+    return "?";
+}
+
+FaultSpec
+parseFaultSpec(const std::string &text)
+{
+    // kind[@prob][:site=S][:window=LO-HI][:count=N][:delay=D]
+    FaultSpec spec;
+    size_t pos = text.find(':');
+    std::string head = text.substr(0, pos);
+    std::string kind = head;
+    if (size_t at = head.find('@'); at != std::string::npos) {
+        kind = head.substr(0, at);
+        std::string p = head.substr(at + 1);
+        try {
+            size_t used = 0;
+            spec.prob = std::stod(p, &used);
+            if (used != p.size())
+                throw std::invalid_argument(p);
+        } catch (const std::exception &) {
+            fatal("fault spec '", text, "': bad probability '", p, "'");
+        }
+        if (spec.prob < 0.0 || spec.prob > 1.0)
+            fatal("fault spec '", text, "': probability out of [0,1]");
+    }
+
+    bool known = false;
+    for (int k = 0; k < kNumFaultKinds; ++k) {
+        if (kind == faultKindName(static_cast<FaultKind>(k))) {
+            spec.kind = static_cast<FaultKind>(k);
+            known = true;
+            break;
+        }
+    }
+    if (!known)
+        fatal("fault spec '", text, "': unknown fault kind '", kind,
+              "' (expected noc-delay, noc-dup, stuck-credit, "
+              "dram-timeout, dram-tail, fifo-leak, artifact-flip or "
+              "compile-fault)");
+
+    auto parseU64 = [&](const std::string &v) -> uint64_t {
+        try {
+            size_t used = 0;
+            uint64_t n = std::stoull(v, &used);
+            if (used != v.size())
+                throw std::invalid_argument(v);
+            return n;
+        } catch (const std::exception &) {
+            fatal("fault spec '", text, "': bad number '", v, "'");
+        }
+    };
+
+    while (pos != std::string::npos) {
+        size_t end = text.find(':', pos + 1);
+        std::string field = text.substr(
+            pos + 1,
+            end == std::string::npos ? std::string::npos : end - pos - 1);
+        pos = end;
+        size_t eq = field.find('=');
+        if (eq == std::string::npos || eq == 0)
+            fatal("fault spec '", text, "': expected key=value, got '",
+                  field, "'");
+        std::string k = field.substr(0, eq);
+        std::string v = field.substr(eq + 1);
+        if (k == "site") {
+            spec.site = v;
+        } else if (k == "window") {
+            // LO-HI with either side optional: "100-", "-500", "100-500".
+            size_t dash = v.find('-');
+            if (dash == std::string::npos)
+                fatal("fault spec '", text,
+                      "': window must be LO-HI, got '", v, "'");
+            std::string lo = v.substr(0, dash), hi = v.substr(dash + 1);
+            if (!lo.empty())
+                spec.windowLo = parseU64(lo);
+            if (!hi.empty())
+                spec.windowHi = parseU64(hi);
+            if (spec.windowHi < spec.windowLo)
+                fatal("fault spec '", text, "': empty cycle window");
+        } else if (k == "count") {
+            spec.count = static_cast<int>(parseU64(v));
+        } else if (k == "delay") {
+            spec.delay = parseU64(v);
+        } else {
+            fatal("fault spec '", text, "': unknown field '", k, "'");
+        }
+    }
+    return spec;
+}
+
+FaultInjector::FaultInjector(std::vector<FaultSpec> plan, uint64_t seed)
+    : plan_(std::move(plan)), seed_(seed), struck_(plan_.size(), 0)
+{
+}
+
+bool
+FaultInjector::decide(const FaultSpec &spec, size_t specIdx,
+                      const std::string &site, uint64_t cycle) const
+{
+    if (!siteMatches(spec, site))
+        return false;
+    if (cycle < spec.windowLo || cycle > spec.windowHi)
+        return false;
+    if (spec.prob < 1.0 &&
+        unitHash(seed_, specIdx, site, cycle) >= spec.prob)
+        return false;
+    if (spec.count >= 0) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (struck_[specIdx] >= spec.count)
+            return false;
+        ++struck_[specIdx];
+    }
+    return true;
+}
+
+void
+FaultInjector::record(FaultKind kind, const std::string &site,
+                      uint64_t cycle) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++total_;
+    if (log_.size() < kLogCap)
+        log_.push_back({kind, site, cycle});
+}
+
+uint64_t
+FaultInjector::flitDelay(const std::string &linkSite, uint64_t cycle) const
+{
+    uint64_t extra = 0;
+    for (size_t i = 0; i < plan_.size(); ++i) {
+        const FaultSpec &s = plan_[i];
+        if (s.kind != FaultKind::NocDelay)
+            continue;
+        if (decide(s, i, linkSite, cycle)) {
+            extra += s.delay;
+            record(s.kind, linkSite, cycle);
+        }
+    }
+    return extra;
+}
+
+bool
+FaultInjector::duplicateFlit(const std::string &linkSite,
+                             uint64_t cycle) const
+{
+    for (size_t i = 0; i < plan_.size(); ++i) {
+        const FaultSpec &s = plan_[i];
+        if (s.kind != FaultKind::NocDup)
+            continue;
+        if (decide(s, i, linkSite, cycle)) {
+            record(s.kind, linkSite, cycle);
+            return true;
+        }
+    }
+    return false;
+}
+
+int
+FaultInjector::stuckCredits(const std::string &linkSite,
+                            uint64_t cycle) const
+{
+    // Sticky from windowLo on: stuck credits never come back, so the
+    // window's upper bound and the probability are ignored — the model
+    // is "this link loses N credits at cycle windowLo".
+    int held = 0;
+    for (size_t i = 0; i < plan_.size(); ++i) {
+        const FaultSpec &s = plan_[i];
+        if (s.kind != FaultKind::StuckCredit)
+            continue;
+        if (!siteMatches(s, linkSite) || cycle < s.windowLo)
+            continue;
+        held += static_cast<int>(
+            std::min<uint64_t>(s.delay, 1 << 20));
+        // Log the onset once per (spec, site).
+        std::lock_guard<std::mutex> lock(mu_);
+        bool seen = false;
+        for (const auto &r : log_)
+            if (r.kind == FaultKind::StuckCredit && r.site == linkSite)
+                seen = true;
+        if (!seen) {
+            ++total_;
+            if (log_.size() < kLogCap)
+                log_.push_back({s.kind, linkSite, s.windowLo});
+        }
+    }
+    return held;
+}
+
+bool
+FaultInjector::dramTimeout(const std::string &unitSite,
+                           uint64_t cycle) const
+{
+    for (size_t i = 0; i < plan_.size(); ++i) {
+        const FaultSpec &s = plan_[i];
+        if (s.kind != FaultKind::DramTimeout)
+            continue;
+        if (decide(s, i, unitSite, cycle)) {
+            record(s.kind, unitSite, cycle);
+            return true;
+        }
+    }
+    return false;
+}
+
+uint64_t
+FaultInjector::dramTailLatency(const std::string &unitSite,
+                               uint64_t cycle) const
+{
+    uint64_t extra = 0;
+    for (size_t i = 0; i < plan_.size(); ++i) {
+        const FaultSpec &s = plan_[i];
+        if (s.kind != FaultKind::DramTail)
+            continue;
+        if (decide(s, i, unitSite, cycle)) {
+            extra += s.delay;
+            record(s.kind, unitSite, cycle);
+        }
+    }
+    return extra;
+}
+
+bool
+FaultInjector::fifoLeak(const std::string &streamSite,
+                        uint64_t cycle) const
+{
+    for (size_t i = 0; i < plan_.size(); ++i) {
+        const FaultSpec &s = plan_[i];
+        if (s.kind != FaultKind::FifoLeak)
+            continue;
+        if (decide(s, i, streamSite, cycle)) {
+            record(s.kind, streamSite, cycle);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+FaultInjector::artifactFlip(const std::string &key) const
+{
+    for (size_t i = 0; i < plan_.size(); ++i) {
+        const FaultSpec &s = plan_[i];
+        if (s.kind != FaultKind::ArtifactFlip)
+            continue;
+        if (decide(s, i, key, 0)) {
+            record(s.kind, key, 0);
+            return true;
+        }
+    }
+    return false;
+}
+
+size_t
+FaultInjector::flipOffset(const std::string &key, size_t size) const
+{
+    if (size == 0)
+        return 0;
+    return static_cast<size_t>(splitmix64(seed_ ^ fnv1a(key)) % size);
+}
+
+bool
+FaultInjector::compileFault(const std::string &key) const
+{
+    for (size_t i = 0; i < plan_.size(); ++i) {
+        const FaultSpec &s = plan_[i];
+        if (s.kind != FaultKind::CompileFault)
+            continue;
+        // Repeated attempts on one key must be able to differ (that is
+        // what a *transient* fault means), so each attempt advances a
+        // per-spec sequence number feeding the decision hash.
+        uint64_t attempt;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            attempt = static_cast<uint64_t>(++struck_[i]);
+        }
+        if (!siteMatches(s, key))
+            continue;
+        if (s.count >= 0 && attempt > static_cast<uint64_t>(s.count))
+            continue;
+        if (s.prob < 1.0 && unitHash(seed_, i, key, attempt) >= s.prob)
+            continue;
+        record(s.kind, key, 0);
+        return true;
+    }
+    return false;
+}
+
+void
+FaultInjector::note(FaultKind kind, const std::string &site,
+                    uint64_t cycle) const
+{
+    record(kind, site, cycle);
+}
+
+std::vector<InjectionRecord>
+FaultInjector::injections() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return log_;
+}
+
+uint64_t
+FaultInjector::totalInjections() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+}
+
+bool
+FaultInjector::findPermanentFault(const std::string &resource,
+                                  InjectionRecord &out) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &r : log_) {
+        if (isPermanentKind(r.kind) && r.site == resource) {
+            out = r;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+FaultInjector::firstPermanentFault(InjectionRecord &out) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &r : log_) {
+        if (isPermanentKind(r.kind)) {
+            out = r;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace sara::fault

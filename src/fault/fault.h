@@ -1,0 +1,160 @@
+#ifndef SARA_FAULT_FAULT_H
+#define SARA_FAULT_FAULT_H
+
+/**
+ * @file
+ * Deterministic, seed-driven fault injection.
+ *
+ * A fault plan is a list of FaultSpecs, each naming a fault model plus
+ * where (site substring), when (cycle window) and how often (probability
+ * and count cap) it strikes. The injector answers point queries from
+ * the simulator, NoC, FIFO and artifact layers; every decision is a
+ * pure hash of (seed, spec index, site, cycle), so it is independent of
+ * query order and a failing run replays cycle-identically from its
+ * seed. With no injector attached (the default), every injection point
+ * compiles down to a null-pointer check — zero overhead when off.
+ *
+ * Every positive decision is logged as an InjectionRecord; the hang
+ * diagnosis engine (failure.h) matches blocked resources against these
+ * records to tell an injected-fault-induced hang from a genuine
+ * protocol deadlock.
+ */
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sara::fault {
+
+/** The pluggable fault models. */
+enum class FaultKind : uint8_t {
+    NocDelay,     ///< Extra cycles on a granted flit's link traversal.
+    NocDup,       ///< A granted flit re-arbitrates its link once.
+    StuckCredit,  ///< Link-buffer slots permanently held at a NoC link.
+    DramTimeout,  ///< A DRAM response never completes.
+    DramTail,     ///< Tail-latency spike on a DRAM access.
+    FifoLeak,     ///< A popped credit is lost (capacity shrinks by one).
+    ArtifactFlip, ///< Flip one byte of a loaded artifact container.
+    CompileFault, ///< Transient compile failure (retry path).
+};
+inline constexpr int kNumFaultKinds = 8;
+
+const char *faultKindName(FaultKind kind);
+
+/** One entry of a fault plan. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::NocDelay;
+    /** Per-opportunity strike probability in [0, 1]. */
+    double prob = 1.0;
+    /** Substring match against the injection site name; empty = any. */
+    std::string site;
+    /** Only cycles in [windowLo, windowHi] are eligible. Process-level
+     *  faults (artifact-flip, compile-fault) ignore the window. */
+    uint64_t windowLo = 0;
+    uint64_t windowHi = UINT64_MAX;
+    /** Max strikes from this spec; -1 = unlimited. */
+    int count = -1;
+    /** Magnitude: extra cycles (noc-delay, dram-tail) or held buffer
+     *  slots (stuck-credit). */
+    uint64_t delay = 16;
+};
+
+/**
+ * Parse the `--inject` grammar:
+ *   kind[@prob][:site=S][:window=LO-HI][:count=N][:delay=D]
+ * e.g. "noc-delay@0.05:delay=8", "stuck-credit:site=(1,2)E:window=100-".
+ * fatal()s (FatalError, exit 3 from sarac) on a malformed spec.
+ */
+FaultSpec parseFaultSpec(const std::string &text);
+
+/** One positive injection decision. */
+struct InjectionRecord
+{
+    FaultKind kind;
+    std::string site;
+    uint64_t cycle = 0;
+};
+
+/**
+ * Answers "does a fault strike here, now?" for every injection point.
+ * Thread-safe: decisions are stateless hashes; only the log mutates
+ * under a mutex (batch jobs share one injector across threads).
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(std::vector<FaultSpec> plan, uint64_t seed);
+
+    uint64_t seed() const { return seed_; }
+    bool empty() const { return plan_.empty(); }
+    const std::vector<FaultSpec> &plan() const { return plan_; }
+
+    // --- Cycle-level query points (one call per opportunity) ---------
+
+    /** Extra cycles to add to a granted flit's hop traversal. */
+    uint64_t flitDelay(const std::string &linkSite, uint64_t cycle) const;
+    /** Whether a granted flit must re-arbitrate its link once. */
+    bool duplicateFlit(const std::string &linkSite, uint64_t cycle) const;
+    /** Buffer slots permanently held at this link from `cycle` on.
+     *  Sticky: once the window opens the credits never come back. */
+    int stuckCredits(const std::string &linkSite, uint64_t cycle) const;
+    /** Whether this DRAM access's completion is dropped forever. */
+    bool dramTimeout(const std::string &unitSite, uint64_t cycle) const;
+    /** Extra response latency for this DRAM access. */
+    uint64_t dramTailLatency(const std::string &unitSite,
+                             uint64_t cycle) const;
+    /** Whether this pop loses one credit of the stream's window. */
+    bool fifoLeak(const std::string &streamSite, uint64_t cycle) const;
+
+    // --- Process-level query points (no cycle clock) -----------------
+
+    /** Whether to flip a byte of the artifact stored under `key`. */
+    bool artifactFlip(const std::string &key) const;
+    /** Deterministic byte offset to corrupt in a `size`-byte blob. */
+    size_t flipOffset(const std::string &key, size_t size) const;
+    /** Whether this compile attempt fails transiently. `attempt`
+     *  distinguishes retries so a bounded count cap lets them pass. */
+    bool compileFault(const std::string &key) const;
+
+    // --- Diagnosis support -------------------------------------------
+
+    /** Log an extra record under a caller-chosen site name (used to
+     *  name the resource a dropped response would have surfaced on). */
+    void note(FaultKind kind, const std::string &site,
+              uint64_t cycle) const;
+
+    /** Injection log, in decision order (capped; see totalInjections).
+     *  Single-run queries are single-threaded, so the order — and the
+     *  FailureReport built from it — is deterministic. */
+    std::vector<InjectionRecord> injections() const;
+    uint64_t totalInjections() const;
+    /** First logged *permanent* fault (stuck-credit, dram-timeout,
+     *  fifo-leak) whose site matches `resource`; nullopt-like: an
+     *  empty site means no match. */
+    bool findPermanentFault(const std::string &resource,
+                            InjectionRecord &out) const;
+    /** First logged permanent fault at any site (classification
+     *  fallback: a frozen network often surfaces as a stalled CMMC
+     *  token loop far from the poisoned link). */
+    bool firstPermanentFault(InjectionRecord &out) const;
+
+  private:
+    bool decide(const FaultSpec &spec, size_t specIdx,
+                const std::string &site, uint64_t cycle) const;
+    void record(FaultKind kind, const std::string &site,
+                uint64_t cycle) const;
+
+    std::vector<FaultSpec> plan_;
+    uint64_t seed_ = 0;
+
+    mutable std::mutex mu_;
+    mutable std::vector<InjectionRecord> log_; ///< Capped at kLogCap.
+    mutable uint64_t total_ = 0;
+    mutable std::vector<int64_t> struck_; ///< Strikes per spec (count cap).
+};
+
+} // namespace sara::fault
+
+#endif // SARA_FAULT_FAULT_H

@@ -163,7 +163,31 @@ runBatch(std::vector<Job> jobs, const BatchOptions &options)
                 out.worker = worker;
                 out.startMs = msSince(epoch);
                 try {
-                    jobs[i].fn();
+                    for (int attempt = 1;; ++attempt) {
+                        try {
+                            jobs[i].fn();
+                            break;
+                        } catch (const TransientError &e) {
+                            // Only transient failures are retried, and
+                            // never past the attempt budget or into a
+                            // cancelled batch.
+                            if (attempt >= options.maxAttempts ||
+                                cancelled.load(
+                                    std::memory_order_relaxed))
+                                throw;
+                            ++out.retries;
+                            telemetry::Registry::global().add(
+                                "jobs.retried");
+                            warn("job ", jobs[i].name,
+                                 " transient failure (attempt ",
+                                 attempt, "/", options.maxAttempts,
+                                 "): ", e.what());
+                            std::this_thread::sleep_for(
+                                std::chrono::duration<double,
+                                                      std::milli>(
+                                    options.retryBackoffMs * attempt));
+                        }
+                    }
                     out.status = JobOutcome::Status::Ok;
                 } catch (const std::exception &e) {
                     out.status = JobOutcome::Status::Failed;

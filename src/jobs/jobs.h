@@ -13,6 +13,13 @@
  *  - Cancellation on first fatal error: when a job throws and
  *    `cancelOnError` is set, jobs that have not started yet are marked
  *    cancelled and never run; jobs already running drain normally.
+ *    runBatch never returns with work still in flight — the pool is
+ *    drained before the report is built, so side effects of cancelled
+ *    batches (cache stores, report files) are always complete, never
+ *    torn.
+ *  - Bounded retry: jobs failing with support::TransientError are
+ *    retried up to `maxAttempts` times with linear backoff; any other
+ *    exception fails the job immediately.
  *  - Per-job telemetry: each outcome records queue->start->end wall
  *    clock relative to the batch epoch plus the worker that ran it;
  *    the batch can emit a Chrome trace (one lane per worker) and bumps
@@ -48,6 +55,7 @@ struct JobOutcome
     double startMs = 0.0; ///< Relative to the batch epoch.
     double durMs = 0.0;
     int worker = -1;      ///< Pool thread that ran it (-1: never ran).
+    int retries = 0;      ///< Transient-failure retries consumed.
 
     bool ok() const { return status == Status::Ok; }
 };
@@ -59,6 +67,11 @@ struct BatchOptions
     int threads = 0;
     /** Stop launching new jobs after the first failure. */
     bool cancelOnError = true;
+    /** Total attempts per job (1 = no retry). Only failures thrown as
+     *  support::TransientError are retried. */
+    int maxAttempts = 1;
+    /** Backoff before retry k is `retryBackoffMs * k` milliseconds. */
+    double retryBackoffMs = 2.0;
     /** When non-empty, write a Chrome trace of the batch schedule
      *  (one lane per worker) here. */
     std::string traceFile;

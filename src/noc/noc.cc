@@ -1,6 +1,7 @@
 #include "noc/noc.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "support/logging.h"
 
@@ -42,6 +43,10 @@ NocModel::registerStream(const dfg::Stream &s)
             links_.emplace_back();
             links_.back().model = this;
             links_.back().where = rl;
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "(%d,%d)%s", rl.x, rl.y,
+                          dfg::linkDirName(rl.dir));
+            links_.back().site = buf;
         }
         Link &link = links_[it->second];
         link.spaceCv.bind(*sched_);
@@ -79,14 +84,30 @@ NocModel::firstLink(dfg::StreamId id) const
     return const_cast<NocModel *>(this)->firstLink(id);
 }
 
+int
+NocModel::freeSlots(const Link &link) const
+{
+    int buf = spec_.linkBuffer;
+    if (inj_)
+        buf -= std::min(buf,
+                        inj_->stuckCredits(link.site, sched_->now()));
+    return buf - static_cast<int>(link.q.size()) - link.reserved;
+}
+
 bool
 NocModel::canAccept(dfg::StreamId id) const
 {
     if (!participates(id))
         return true; // Fixed-latency streams are never admission-gated.
-    const Link &link = firstLink(id);
-    return static_cast<int>(link.q.size()) + link.reserved <
-           spec_.linkBuffer;
+    return freeSlots(firstLink(id)) > 0;
+}
+
+std::string
+NocModel::firstLinkSite(dfg::StreamId id) const
+{
+    if (!participates(id))
+        return "";
+    return firstLink(id).site;
 }
 
 sim::CondVar &
@@ -183,9 +204,8 @@ NocModel::poll(Link &link)
         const StreamState &ss = streams_[f->stream];
         if (static_cast<size_t>(f->hop) + 1 < ss.path.size()) {
             const Link &next = links_[ss.path[f->hop + 1]];
-            if (static_cast<int>(next.q.size()) + next.reserved >=
-                spec_.linkBuffer)
-                continue; // Downstream buffer full.
+            if (freeSlots(next) <= 0)
+                continue; // Downstream buffer full (or credits stuck).
         }
         int dist = (f->stream - link.rrCursor - 1 + 2 * numStreams_) %
                    numStreams_;
@@ -222,6 +242,25 @@ NocModel::grant(Link &link, size_t qPos)
     for (int fi : link.feeders)
         schedulePoll(links_[fi], now);
 
+    // Injected faults on the granted traversal: extra wire delay,
+    // and/or a duplicated crossing (the flit lands back in its own
+    // input buffer and must re-arbitrate; it still delivers exactly
+    // once, so payload accounting is untouched).
+    uint64_t faultDelay = inj_ ? inj_->flitDelay(link.site, now) : 0;
+    if (inj_ && !f->duped && inj_->duplicateFlit(link.site, now)) {
+        f->duped = true;
+        sched_->scheduleFnAt(
+            [](void *p) {
+                Flit *flit = static_cast<Flit *>(p);
+                NocModel *m = flit->model;
+                m->enqueue(flit,
+                           m->streams_[flit->stream].path[flit->hop]);
+            },
+            f,
+            now + static_cast<uint64_t>(spec_.hopLatency) + faultDelay);
+        return;
+    }
+
     const StreamState &ss = streams_[f->stream];
     if (static_cast<size_t>(f->hop) + 1 < ss.path.size()) {
         // Reserve the downstream slot for the duration of the flight.
@@ -237,13 +276,13 @@ NocModel::grant(Link &link, size_t qPos)
                 --l.reserved;
                 m->enqueue(flit, m->streams_[flit->stream].path[flit->hop]);
             },
-            f, now + static_cast<uint64_t>(spec_.hopLatency));
+            f, now + static_cast<uint64_t>(spec_.hopLatency) + faultDelay);
     } else {
         // Eject: never blocks. The minLatency floor models switch
         // entry/exit, matching the router's scalar estimate on an
         // uncongested path.
         uint64_t at = std::max(
-            now + static_cast<uint64_t>(spec_.ejectLatency),
+            now + static_cast<uint64_t>(spec_.ejectLatency) + faultDelay,
             f->injectedAt + static_cast<uint64_t>(spec_.minLatency));
         sched_->scheduleFnAt(
             [](void *p) {

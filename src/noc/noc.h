@@ -32,9 +32,11 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "dfg/vudfg.h"
+#include "fault/fault.h"
 #include "sim/task.h"
 #include "support/telemetry.h"
 
@@ -125,6 +127,19 @@ class NocModel
      *  `PnrReport::maxLinkLoad` (asserted in tests). */
     int peakStreamLoad() const;
 
+    /**
+     * Attach a fault injector (may be null). Injection points: flit
+     * delay and duplication at grant time, stuck credits shrinking a
+     * link's effective buffer. Not owned — must outlive the model.
+     */
+    void setFaultInjector(const fault::FaultInjector *inj) { inj_ = inj; }
+
+    /** Site name of the stream's first-hop link, e.g. "(1,2)E"; empty
+     *  for streams that don't ride the arbitrated network. Producers
+     *  blocked on admission report this as the wanted resource, which
+     *  is what stuck-credit injections are matched against. */
+    std::string firstLinkSite(dfg::StreamId id) const;
+
     /** Flits currently inside the network (queued or on a link). */
     uint64_t inflight() const { return inflight_; }
 
@@ -141,6 +156,7 @@ class NocModel
         uint64_t arrivedAt = 0; ///< Entered the current input buffer.
         DeliverFn deliver = nullptr;
         void *ctx = nullptr;
+        bool duped = false; ///< Already paid a duplicated traversal.
     };
 
     /** One directed link: input buffer + single-grant-per-cycle port. */
@@ -148,6 +164,7 @@ class NocModel
     {
         NocModel *model = nullptr;
         dfg::RouteLink where;
+        std::string site; ///< "(x,y)D" — fault-injection site name.
         int streams = 0;          ///< Static load (routed streams).
         std::deque<Flit *> q;     ///< Waiting flits, arrival order.
         int reserved = 0;         ///< Slots held by in-transit flits.
@@ -161,6 +178,9 @@ class NocModel
 
     Link &firstLink(dfg::StreamId id);
     const Link &firstLink(dfg::StreamId id) const;
+    /** Buffer slots usable for new flits: linkBuffer minus occupancy,
+     *  reservations and any injected stuck credits. */
+    int freeSlots(const Link &link) const;
     void enqueue(Flit *f, int linkIdx);
     void schedulePoll(Link &link, uint64_t at);
     void poll(Link &link);
@@ -170,6 +190,7 @@ class NocModel
 
     sim::Scheduler *sched_;
     NocSpec spec_;
+    const fault::FaultInjector *inj_ = nullptr;
 
     struct StreamState
     {

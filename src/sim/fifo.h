@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "dfg/vudfg.h"
+#include "fault/fault.h"
 #include "noc/noc.h"
 #include "sim/task.h"
 #include "support/logging.h"
@@ -31,13 +32,16 @@ class FifoState
   public:
     /** With a NoC model attached (and a routed stream), in-flight
      *  elements traverse the cycle-level network instead of the fixed
-     *  `latency`-cycle delay; the credit window is unchanged. */
+     *  `latency`-cycle delay; the credit window is unchanged. An
+     *  injector (may be null) enables the fifo-leak fault model. */
     void
     init(Scheduler &sched, const dfg::Stream &spec,
-         noc::NocModel *noc = nullptr)
+         noc::NocModel *noc = nullptr,
+         const fault::FaultInjector *inj = nullptr)
     {
         sched_ = &sched;
         spec_ = &spec;
+        inj_ = inj;
         noc_ = noc && noc->participates(spec.id) ? noc : nullptr;
         isToken_ = spec.kind == dfg::StreamKind::Token;
         latency_ = static_cast<uint64_t>(spec.latency);
@@ -119,6 +123,13 @@ class FifoState
         SARA_ASSERT(!stored_.empty(), "pop of empty fifo ", spec_->name);
         stored_.pop_front();
         ++pops_;
+        // Injected credit leak: the freed slot's credit is lost in
+        // transit, permanently shrinking the window (floor 1 so the
+        // stream stays usable; a window of 0 would wedge instantly and
+        // that failure mode is stuck-credit's job).
+        if (inj_ && capacity_ != UINT64_MAX && capacity_ > 1 &&
+            inj_->fifoLeak(spec_->name, sched_->now()))
+            --capacity_;
         spaceCv.notifyAll();
     }
 
@@ -171,6 +182,7 @@ class FifoState
 
     Scheduler *sched_ = nullptr;
     const dfg::Stream *spec_ = nullptr;
+    const fault::FaultInjector *inj_ = nullptr;
     noc::NocModel *noc_ = nullptr;
     std::deque<Element> stored_;
     std::deque<Element> inflight_;

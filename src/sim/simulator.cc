@@ -92,6 +92,18 @@ struct Simulator::MemGroup
 /** Runtime state of one executing virtual unit. */
 struct Simulator::Engine
 {
+    /** What structural resource the engine is parked on right now —
+     *  the wait-for-graph edge source (blockReason is the human
+     *  label, this is the machine-readable form). */
+    enum class WaitKind : uint8_t {
+        None,        ///< Running (or finished).
+        StreamData,  ///< Consumer waiting for data/token on waitStream.
+        StreamSpace, ///< Producer waiting for credit on waitStream.
+        NetInject,   ///< Producer waiting for a NoC first-hop slot.
+        DramWindow,  ///< AG at the outstanding-request limit.
+        DramDrain,   ///< Store AG draining writes before a CMMC ack.
+    };
+
     const dfg::VUnit *u = nullptr;
     int n = 0;   ///< Counter chain size.
     int vec = 1; ///< Innermost SIMD width.
@@ -126,10 +138,30 @@ struct Simulator::Engine
     int arithLops = 0;
     const char *blockReason = "not started";
     std::string blockDetail;
+    WaitKind waitKind = WaitKind::None;
+    int32_t waitStream = -1; ///< StreamId index for Stream*/NetInject.
     bool finished = false;
     std::string error;
 
     Task task;
+
+    void
+    parkOn(WaitKind kind, int32_t stream, const char *why,
+           const std::string &detail)
+    {
+        waitKind = kind;
+        waitStream = stream;
+        blockReason = why;
+        blockDetail = detail;
+    }
+
+    void
+    unpark()
+    {
+        waitKind = WaitKind::None;
+        waitStream = -1;
+        blockReason = "";
+    }
 };
 
 Simulator::Simulator(const ir::Program &program, const dfg::Vudfg &graph,
@@ -148,13 +180,15 @@ Simulator::buildState()
 
     if (opt_.useNoc) {
         noc_ = std::make_unique<noc::NocModel>(sched_, opt_.noc);
+        noc_->setFaultInjector(opt_.fault);
         for (size_t i = 0; i < g_.numStreams(); ++i)
             noc_->registerStream(g_.stream(dfg::StreamId(i)));
     }
 
     fifos_.resize(g_.numStreams());
     for (size_t i = 0; i < g_.numStreams(); ++i)
-        fifos_[i].init(sched_, g_.stream(dfg::StreamId(i)), noc_.get());
+        fifos_[i].init(sched_, g_.stream(dfg::StreamId(i)), noc_.get(),
+                       opt_.fault);
 
     // Memory groups.
     for (const auto &u : g_.units()) {
@@ -273,14 +307,14 @@ Simulator::awaitNonEmpty(Engine &e, FifoState &f, StallCause cause,
                          const char *why)
 {
     while (f.empty()) {
-        e.blockReason = why;
-        e.blockDetail = f.spec().name;
+        e.parkOn(Engine::WaitKind::StreamData, f.spec().id.v, why,
+                 f.spec().name);
         uint64_t blockedAt = sched_.now();
         co_await f.dataCv.wait();
         e.stats.stallCycles[static_cast<int>(cause)] +=
             sched_.now() - blockedAt;
     }
-    e.blockReason = "";
+    e.unpark();
 }
 
 Task
@@ -294,8 +328,8 @@ Simulator::awaitSpace(Engine &e, FifoState &f, StallCause cause,
     // wakeup; the cycles blocked on each gate are disjoint.
     while (true) {
         if (!f.hasSpace()) {
-            e.blockReason = why;
-            e.blockDetail = f.spec().name;
+            e.parkOn(Engine::WaitKind::StreamSpace, f.spec().id.v, why,
+                     f.spec().name);
             uint64_t blockedAt = sched_.now();
             co_await f.spaceCv.wait();
             e.stats.stallCycles[static_cast<int>(cause)] +=
@@ -303,8 +337,8 @@ Simulator::awaitSpace(Engine &e, FifoState &f, StallCause cause,
             continue;
         }
         if (!f.canInject()) {
-            e.blockReason = "link busy";
-            e.blockDetail = f.spec().name;
+            e.parkOn(Engine::WaitKind::NetInject, f.spec().id.v,
+                     "link busy", f.spec().name);
             uint64_t blockedAt = sched_.now();
             co_await f.injectCv().wait();
             e.stats.stallCycles[static_cast<int>(
@@ -313,7 +347,7 @@ Simulator::awaitSpace(Engine &e, FifoState &f, StallCause cause,
         }
         break;
     }
-    e.blockReason = "";
+    e.unpark();
 }
 
 Task
@@ -505,14 +539,14 @@ Simulator::wrapActions(Engine &e, int k)
     if (u.kind == VuKind::Ag && u.dir == AccessDir::Write && k < e.n &&
         !e.outputsAt[k].empty()) {
         while (e.outstanding > 0) {
-            e.blockReason = "DRAM write drain";
-            e.blockDetail = u.name;
+            e.parkOn(Engine::WaitKind::DramDrain, -1,
+                     "DRAM write drain", u.name);
             uint64_t blockedAt = sched_.now();
             co_await e.agCv.wait();
             e.stats.stallCycles[static_cast<int>(
                 StallCause::DramLatency)] += sched_.now() - blockedAt;
         }
-        e.blockReason = "";
+        e.unpark();
     }
 
     for (int oi : e.outputsAt[k]) {
@@ -747,14 +781,14 @@ Simulator::applyAg(Engine &e)
 {
     const auto &u = *e.u;
     while (e.outstanding >= opt_.agOutstanding) {
-        e.blockReason = "DRAM outstanding limit";
-        e.blockDetail = u.name;
+        e.parkOn(Engine::WaitKind::DramWindow, -1,
+                 "DRAM outstanding limit", u.name);
         uint64_t blockedAt = sched_.now();
         co_await e.agCv.wait();
         e.stats.stallCycles[static_cast<int>(StallCause::DramLatency)] +=
             sched_.now() - blockedAt;
     }
-    e.blockReason = "";
+    e.unpark();
 
     const int lanes = e.activeLanes;
     int64_t addrs[64];
@@ -787,6 +821,18 @@ Simulator::applyAg(Engine &e)
         }
     }
 
+    // Injected DRAM faults: a timeout drops this access's completion
+    // (and, for reads, the response element) forever; a tail spike
+    // just stretches the completion time.
+    bool timedOut = false;
+    if (opt_.fault) {
+        if (opt_.fault->dramTimeout(u.name, sched_.now()))
+            timedOut = true;
+        else
+            maxComplete +=
+                opt_.fault->dramTailLatency(u.name, sched_.now());
+    }
+
     if (u.dir == AccessDir::Read) {
         Element out(lanes);
         for (int l = 0; l < lanes; ++l) {
@@ -797,12 +843,20 @@ Simulator::applyAg(Engine &e)
         }
         SARA_ASSERT(u.respOutput >= 0, u.name, ": load AG w/o output");
         auto &f = fifos_[u.outputs[u.respOutput].stream.index()];
-        co_await awaitSpace(e, f, StallCause::Credit,
-                            "DRAM response space");
-        uint64_t extra = maxComplete > sched_.now()
-                             ? maxComplete - sched_.now()
-                             : 0;
-        f.pushWithDelay(std::move(out), extra);
+        if (timedOut) {
+            // The missing element surfaces on the response stream, so
+            // log the injection under that resource too — that is the
+            // site the starved consumer's wait will name.
+            opt_.fault->note(fault::FaultKind::DramTimeout,
+                             f.spec().name, sched_.now());
+        } else {
+            co_await awaitSpace(e, f, StallCause::Credit,
+                                "DRAM response space");
+            uint64_t extra = maxComplete > sched_.now()
+                                 ? maxComplete - sched_.now()
+                                 : 0;
+            f.pushWithDelay(std::move(out), extra);
+        }
     } else {
         SARA_ASSERT(u.dataInput >= 0, u.name, ": store AG w/o data");
         const auto &elem =
@@ -815,18 +869,23 @@ Simulator::applyAg(Engine &e)
         }
     }
 
-    // Track completion for the outstanding window / write drain.
+    // Track completion for the outstanding window / write drain. A
+    // timed-out access never completes: its outstanding slot leaks,
+    // eventually wedging the window or the write drain — exactly the
+    // hang a lost DRAM response causes in hardware.
     ++e.outstanding;
     ++dramOutstanding_;
-    sched_.scheduleFnAt(
-        [](void *arg) {
-            auto *eng = static_cast<Engine *>(arg);
-            --eng->outstanding;
-            --eng->sim->dramOutstanding_;
-            eng->sim->sampleDram();
-            eng->agCv.notifyAll();
-        },
-        &e, std::max(maxComplete, sched_.now()));
+    if (!timedOut) {
+        sched_.scheduleFnAt(
+            [](void *arg) {
+                auto *eng = static_cast<Engine *>(arg);
+                --eng->outstanding;
+                --eng->sim->dramOutstanding_;
+                eng->sim->sampleDram();
+                eng->agCv.notifyAll();
+            },
+            &e, std::max(maxComplete, sched_.now()));
+    }
     sampleDram();
 }
 
@@ -866,7 +925,7 @@ Simulator::run()
             allDone = false;
     }
     if (!allDone)
-        reportDeadlock();
+        reportHang();
 
     SimResult result;
     result.cycles = end;
@@ -954,7 +1013,7 @@ Simulator::recordFiring(const Engine &e, uint64_t start, uint64_t dur,
 }
 
 void
-Simulator::writeTrace() const
+Simulator::writeTrace(const fault::FailureReport *failure) const
 {
     // One unified timeline: compile phases (pid 0, wall-clock µs),
     // engine firings (pid 1, one thread lane per unit, 1 cycle = 1 µs),
@@ -1010,28 +1069,141 @@ Simulator::writeTrace() const
             w.counter(kSimPid, "noc-busy-links", static_cast<double>(t),
                       "links", v);
     }
+    if (failure) {
+        // Failure annotation: one classification marker plus an
+        // instant on each blocked engine's lane at the hang cycle.
+        w.instant(kSimPid, 0,
+                  std::string("HANG: ") +
+                      fault::hangClassName(failure->cls),
+                  static_cast<double>(failure->atCycle));
+        for (const auto &e : engines_) {
+            if (!e || e->finished)
+                continue;
+            w.instant(kSimPid, e->u->id.v,
+                      "blocked: " + std::string(e->blockReason) + " [" +
+                          e->blockDetail + "]",
+                      static_cast<double>(failure->atCycle));
+        }
+    }
 
     size_t events = w.eventsWritten();
     w.close();
     inform("wrote ", events, " trace events to ", opt_.traceFile);
 }
 
-void
-Simulator::reportDeadlock()
+std::vector<fault::WaitNode>
+Simulator::buildWaitGraph() const
 {
-    // Flush the timeline first: the trace leading up to a deadlock is
-    // exactly the evidence needed to diagnose it.
-    if (!opt_.traceFile.empty())
-        writeTrace();
-    std::string report = "simulation deadlock; blocked engines:";
+    // Map engine VuId -> index in the blocked list for provider edges.
+    std::vector<int> blockedIdx(g_.numUnits(), -1);
+    std::vector<const Engine *> blocked;
     for (const auto &e : engines_) {
         if (!e || e->finished)
             continue;
-        report += "\n  " + e->u->name + ": waiting on " +
-                  std::string(e->blockReason) + " [" + e->blockDetail +
-                  "]";
+        blockedIdx[e->u->id.index()] = static_cast<int>(blocked.size());
+        blocked.push_back(e.get());
     }
-    panic(report);
+
+    std::vector<fault::WaitNode> nodes;
+    nodes.reserve(blocked.size());
+    for (const Engine *e : blocked) {
+        fault::WaitNode n;
+        n.unit = e->u->name;
+        for (int c = 0; c < kNumStallCauses; ++c) {
+            if (e->stats.stallCycles[c] > 0)
+                n.stalls.emplace_back(
+                    stallCauseName(static_cast<StallCause>(c)),
+                    e->stats.stallCycles[c]);
+        }
+
+        dfg::VuId provider;
+        switch (e->waitKind) {
+          case Engine::WaitKind::StreamData: {
+            const auto &s = g_.stream(dfg::StreamId(e->waitStream));
+            n.wants = s.kind == StreamKind::Token ? "token" : "data";
+            n.resource = s.name;
+            provider = s.src;
+            break;
+          }
+          case Engine::WaitKind::StreamSpace: {
+            const auto &s = g_.stream(dfg::StreamId(e->waitStream));
+            n.wants = "credit";
+            n.resource = s.name;
+            provider = s.dst; // Credits come back when the dst pops.
+            break;
+          }
+          case Engine::WaitKind::NetInject: {
+            const auto &s = g_.stream(dfg::StreamId(e->waitStream));
+            n.wants = "link-slot";
+            n.resource = noc_ ? noc_->firstLinkSite(s.id) : s.name;
+            provider = s.dst; // The link drains toward the consumer.
+            break;
+          }
+          case Engine::WaitKind::DramWindow:
+            n.wants = "dram-response";
+            n.resource = e->u->name;
+            break;
+          case Engine::WaitKind::DramDrain:
+            n.wants = "dram-drain";
+            n.resource = e->u->name;
+            break;
+          case Engine::WaitKind::None:
+            n.wants = *e->blockReason ? e->blockReason : "unknown";
+            n.resource = e->blockDetail;
+            break;
+        }
+        if (provider.valid()) {
+            size_t pi = provider.index();
+            if (blockedIdx[pi] >= 0)
+                n.provider = blockedIdx[pi];
+            else if (engines_[pi] && engines_[pi]->finished)
+                n.providerFinished = true;
+            // Storage VMUs have no engine: external provider (-1).
+        }
+        nodes.push_back(std::move(n));
+    }
+    return nodes;
+}
+
+void
+Simulator::reportHang()
+{
+    if (!opt_.hangDiagnosis) {
+        // Flat escalation: flush the timeline first (the trace leading
+        // up to a hang is the evidence needed to diagnose it), then
+        // panic with every blocked engine and its stall histogram so
+        // the hang is attributable even without diagnosis.
+        if (!opt_.traceFile.empty())
+            writeTrace();
+        std::string report = "simulation deadlock; blocked engines:";
+        for (const auto &e : engines_) {
+            if (!e || e->finished)
+                continue;
+            report += "\n  " + e->u->name + ": waiting on " +
+                      std::string(e->blockReason) + " [" +
+                      e->blockDetail + "]";
+            if (e->stats.stallTotal() > 0) {
+                report += "; stalls:";
+                for (int c = 0; c < kNumStallCauses; ++c) {
+                    if (e->stats.stallCycles[c] == 0)
+                        continue;
+                    report += std::string(" ") +
+                              stallCauseName(static_cast<StallCause>(c)) +
+                              "=" +
+                              std::to_string(e->stats.stallCycles[c]);
+                }
+            }
+        }
+        panic(report);
+    }
+
+    fault::FailureReport fr =
+        fault::classify(buildWaitGraph(), opt_.fault, sched_.now());
+    if (!opt_.traceFile.empty())
+        writeTrace(&fr);
+    // Same logging contract as panic(); the throw carries structure.
+    detail::logMessage(LogLevel::Error, "panic", fr.str());
+    throw fault::HangError(std::move(fr));
 }
 
 } // namespace sara::sim

@@ -26,7 +26,10 @@
  *
  * Deadlocks (CMMC bugs, mis-leveled streams) are detected when the
  * event queue drains with unfinished engines; the report lists every
- * blocked engine and what it waits on.
+ * blocked engine, what it waits on, and its stall-cause histogram.
+ * With SimOptions::hangDiagnosis the flat panic is replaced by a
+ * wait-for-graph classification (true deadlock vs starvation vs
+ * injected fault) thrown as a structured fault::HangError.
  */
 
 #include <array>
@@ -38,6 +41,7 @@
 
 #include "dfg/vudfg.h"
 #include "dram/dram.h"
+#include "fault/failure.h"
 #include "ir/program.h"
 #include "noc/noc.h"
 #include "sim/fifo.h"
@@ -70,6 +74,18 @@ struct SimOptions
      *  unified file per run); may be null. Not owned — must outlive
      *  the simulator. */
     const std::vector<telemetry::Span> *compileSpans = nullptr;
+    /** Fault injector driving the seeded fault models (NoC flit
+     *  delay/duplication, stuck link credits, DRAM timeouts and tail
+     *  spikes, FIFO credit leaks). Null — the default — compiles every
+     *  injection point down to a pointer check: runs without an
+     *  injector are cycle-identical to builds without the subsystem.
+     *  Not owned; must outlive the simulator. */
+    const fault::FaultInjector *fault = nullptr;
+    /** On a hang, build the wait-for graph over tokens, credits, FIFO
+     *  slots and NoC link reservations, classify deadlock vs
+     *  starvation vs injected fault, and throw a structured
+     *  fault::HangError instead of the flat deadlock panic. */
+    bool hangDiagnosis = false;
 };
 
 /**
@@ -194,12 +210,13 @@ class Simulator
                                       int64_t logical) const;
 
     void buildState();
-    [[noreturn]] void reportDeadlock();
+    [[noreturn]] void reportHang();
+    std::vector<fault::WaitNode> buildWaitGraph() const;
     void collectTensors(SimResult &result);
     void recordFiring(const Engine &e, uint64_t start, uint64_t dur,
                       bool skip);
     void sampleDram();
-    void writeTrace() const;
+    void writeTrace(const fault::FailureReport *failure = nullptr) const;
 
     const ir::Program &p_;
     const dfg::Vudfg &g_;

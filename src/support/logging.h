@@ -38,6 +38,21 @@ class FatalError : public std::runtime_error
     explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
 };
 
+/**
+ * A failure that may succeed on retry (I/O hiccup, injected compile
+ * fault) — as opposed to a deterministic one, which would fail the
+ * same way again. The jobs runner retries these with bounded backoff;
+ * everything else fails the job on the first throw.
+ */
+class TransientError : public std::runtime_error
+{
+  public:
+    explicit TransientError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
 /** Message severities, least severe first. */
 enum class LogLevel : int {
     Debug = 0,

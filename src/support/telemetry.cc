@@ -261,6 +261,19 @@ ChromeTraceWriter::counter(int pid, const std::string &name, double tsUs,
 }
 
 void
+ChromeTraceWriter::instant(int pid, int tid, const std::string &name,
+                           double tsUs)
+{
+    char buf[320];
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"%s\",\"ph\":\"i\",\"pid\":%d,"
+                  "\"tid\":%d,\"ts\":%s,\"s\":\"t\"}",
+                  json::escape(name).c_str(), pid, tid,
+                  json::number(tsUs).c_str());
+    emit(buf);
+}
+
+void
 ChromeTraceWriter::close()
 {
     if (!f_)

@@ -262,6 +262,9 @@ class ChromeTraceWriter
     /** Counter ("C") event: one named track of key->value. */
     void counter(int pid, const std::string &name, double tsUs,
                  const std::string &key, double value);
+    /** Instant ("i") event: a point-in-time marker on (pid, tid) —
+     *  used for hang/failure annotations on the timeline. */
+    void instant(int pid, int tid, const std::string &name, double tsUs);
 
     /** Flush and close; further writes are no-ops. */
     void close();

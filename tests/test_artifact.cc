@@ -15,7 +15,9 @@
 
 #include "artifact/artifact.h"
 #include "artifact/cache.h"
+#include "fault/fault.h"
 #include "sim/simulator.h"
+#include "support/logging.h"
 #include "support/hash.h"
 #include "support/telemetry.h"
 #include "workloads/workload.h"
@@ -390,6 +392,114 @@ TEST(CachingCompiler, SecondCompileComesFromCache)
 }
 
 // --- Hash support ----------------------------------------------------------
+
+// --- Corruption fallback, section by section -------------------------------
+
+TEST(ArtifactCache, ByteFlipInEverySectionFallsBackToRecompile)
+{
+    // Flip one byte in each container section — header (magic/version),
+    // SHA-256 checksum, codec payload — of a stored `SARAART1` entry
+    // and assert the cache treats every variant as a miss, drops the
+    // bad file, and a recompile-and-restore heals it.
+    TempDir tmp("sara-cache-flip-test");
+    auto &reg = telemetry::Registry::global();
+    reg.clear();
+    reg.setEnabled(true);
+
+    artifact::ArtifactCache cache(tmp.path.string());
+    workloads::WorkloadConfig cfg;
+    cfg.par = 8;
+    auto w = workloads::buildByName("ms", cfg);
+    auto opt = testOptions();
+    std::string key = artifact::contentKey(w.program, opt);
+    auto r = compiler::compile(w.program, opt);
+    std::string clean = artifact::packArtifact(key, r);
+    size_t payloadSize = artifact::encodeCompileResult(r).size();
+    ASSERT_GT(clean.size(), payloadSize + 52); // magic+ver+key+len+sha.
+
+    struct Case
+    {
+        const char *section;
+        size_t offset;
+    } cases[] = {
+        {"header-magic", 0},
+        {"header-version", 8},
+        {"checksum", clean.size() - payloadSize - 16},
+        {"payload", clean.size() - payloadSize / 2},
+    };
+    uint64_t corrupt = 0;
+    for (const Case &c : cases) {
+        cache.store(key, r);
+        ASSERT_TRUE(cache.contains(key)) << c.section;
+        std::string bad = clean;
+        bad[c.offset] ^= 0x01;
+        {
+            std::ofstream f(cache.pathFor(key), std::ios::binary);
+            f.write(bad.data(),
+                    static_cast<std::streamsize>(bad.size()));
+        }
+        EXPECT_FALSE(cache.lookup(key).has_value()) << c.section;
+        EXPECT_EQ(reg.counter("artifact.cache.corrupt"), ++corrupt)
+            << c.section;
+        EXPECT_FALSE(fs::exists(cache.pathFor(key))) << c.section;
+
+        // The caller's fallback: recompile, re-store, clean hit.
+        artifact::CachingCompiler compiler(&cache);
+        auto healed = compiler.compile(w.program, opt);
+        EXPECT_FALSE(healed.fromCache) << c.section;
+        EXPECT_EQ(healed.key, key);
+        EXPECT_TRUE(cache.lookup(key).has_value()) << c.section;
+    }
+
+    reg.setEnabled(false);
+}
+
+TEST(ArtifactCache, InjectedBitFlipExercisesTheFallback)
+{
+    // The artifact-flip fault model drives the same path without
+    // touching the file by hand: the injected flip corrupts the read,
+    // the entry drops, and the compile front-end self-heals.
+    TempDir tmp("sara-cache-inject-flip-test");
+    artifact::ArtifactCache cache(tmp.path.string());
+    workloads::WorkloadConfig cfg;
+    cfg.par = 8;
+    auto w = workloads::buildByName("ms", cfg);
+    auto opt = testOptions();
+    std::string key = artifact::contentKey(w.program, opt);
+    cache.store(key, compiler::compile(w.program, opt));
+
+    std::vector<fault::FaultSpec> plan = {
+        fault::parseFaultSpec("artifact-flip:count=1")};
+    fault::FaultInjector inj(plan, 5);
+    cache.setFaultInjector(&inj);
+
+    artifact::CachingCompiler compiler(&cache);
+    compiler.setFaultInjector(&inj);
+    auto out = compiler.compile(w.program, opt);
+    // The one armed flip corrupted the stored entry: recompiled.
+    EXPECT_FALSE(out.fromCache);
+    EXPECT_EQ(inj.totalInjections(), 1u);
+    // The count cap is exhausted; the re-stored entry now hits.
+    auto again = compiler.compile(w.program, opt);
+    EXPECT_TRUE(again.fromCache);
+}
+
+TEST(CachingCompiler, InjectedCompileFaultIsTransient)
+{
+    std::vector<fault::FaultSpec> plan = {
+        fault::parseFaultSpec("compile-fault:count=1")};
+    fault::FaultInjector inj(plan, 5);
+    artifact::CachingCompiler compiler(nullptr);
+    compiler.setFaultInjector(&inj);
+
+    workloads::WorkloadConfig cfg;
+    cfg.par = 8;
+    auto w = workloads::buildByName("ms", cfg);
+    auto opt = testOptions();
+    EXPECT_THROW(compiler.compile(w.program, opt), TransientError);
+    // The retry (attempt 2) passes the count cap and compiles.
+    EXPECT_NO_THROW(compiler.compile(w.program, opt));
+}
 
 TEST(Hash, Sha256KnownVectors)
 {

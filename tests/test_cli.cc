@@ -156,4 +156,58 @@ TEST(Cli, BatchFailureExitsNonzero)
     EXPECT_NE(r.output.find("FAILED"), std::string::npos) << r.output;
 }
 
+// --- Fault injection & hang diagnosis --------------------------------------
+
+TEST(Cli, BenignInjectionStillExitsZero)
+{
+    // A timing-only fault slows the run but completes and verifies.
+    auto r = runSarac("ms --par 8 --check "
+                      "--inject dram-tail@0.5:delay=100 --inject-seed 3");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("verification: PASS"), std::string::npos)
+        << r.output;
+}
+
+TEST(Cli, MalformedInjectSpecExitsThree)
+{
+    auto r = runSarac("ms --par 8 --inject no-such-fault");
+    EXPECT_EQ(r.exitCode, 3) << r.output;
+    EXPECT_NE(r.output.find("unknown fault kind"), std::string::npos)
+        << r.output;
+}
+
+TEST(Cli, InjectedHangIsClassifiedAndExitsFour)
+{
+    TempDir tmp("sara-cli-hang-test");
+    std::string json = (tmp.path / "failure.json").string();
+    auto r = runSarac("ms --par 8 --noc "
+                      "--inject stuck-credit:window=200-:delay=64 "
+                      "--hang-diagnosis --json " + json);
+    EXPECT_EQ(r.exitCode, 4) << r.output;
+    EXPECT_NE(r.output.find("injected-fault-induced"),
+              std::string::npos)
+        << r.output;
+    // The structured FailureReport landed in the report file.
+    std::FILE *f = std::fopen(json.c_str(), "r");
+    ASSERT_NE(f, nullptr) << "no failure report written";
+    std::string doc;
+    std::array<char, 4096> buf;
+    size_t n;
+    while ((n = fread(buf.data(), 1, buf.size(), f)) > 0)
+        doc.append(buf.data(), n);
+    std::fclose(f);
+    EXPECT_NE(doc.find("\"sara-failure-report/v1\""), std::string::npos);
+    EXPECT_NE(doc.find("\"injected-fault-induced\""), std::string::npos);
+    EXPECT_NE(doc.find("\"culprit_site\""), std::string::npos);
+}
+
+TEST(Cli, FlatHangWithoutDiagnosisStillExitsFour)
+{
+    auto r = runSarac("ms --par 8 --noc "
+                      "--inject stuck-credit:window=200-:delay=64");
+    EXPECT_EQ(r.exitCode, 4) << r.output;
+    // Legacy panic path, now with stall histograms (no classifier).
+    EXPECT_NE(r.output.find("stalls:"), std::string::npos) << r.output;
+}
+
 } // namespace

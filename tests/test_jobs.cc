@@ -13,7 +13,9 @@
 #include <thread>
 
 #include "artifact/cache.h"
+#include "fault/fault.h"
 #include "jobs/jobs.h"
+#include "support/logging.h"
 #include "support/telemetry.h"
 #include "workloads/workload.h"
 
@@ -186,6 +188,131 @@ TEST(ThreadPool, DrainWaitsForAllTasks)
     pool.submit([&](int) { ++done; });
     pool.drain();
     EXPECT_EQ(done.load(), 31);
+}
+
+// --- Bounded retry ---------------------------------------------------------
+
+TEST(Jobs, RetriesTransientFailuresWithBackoff)
+{
+    auto &reg = telemetry::Registry::global();
+    reg.clear();
+    reg.setEnabled(true);
+
+    std::atomic<int> attempts{0};
+    std::vector<jobs::Job> batch;
+    batch.push_back({"flaky", [&] {
+        if (++attempts <= 2)
+            throw TransientError("transient glitch");
+    }});
+    jobs::BatchOptions opt;
+    opt.threads = 1;
+    opt.maxAttempts = 3;
+    opt.retryBackoffMs = 0.1;
+    auto report = jobs::runBatch(std::move(batch), opt);
+
+    EXPECT_TRUE(report.allOk());
+    EXPECT_EQ(attempts.load(), 3);
+    EXPECT_EQ(report.outcomes[0].retries, 2);
+    EXPECT_EQ(reg.counter("jobs.retried"), 2u);
+    reg.setEnabled(false);
+}
+
+TEST(Jobs, RetryBudgetExhaustionFailsTheJob)
+{
+    std::atomic<int> attempts{0};
+    std::vector<jobs::Job> batch;
+    batch.push_back({"hopeless", [&] {
+        ++attempts;
+        throw TransientError("always transient");
+    }});
+    jobs::BatchOptions opt;
+    opt.threads = 1;
+    opt.maxAttempts = 3;
+    opt.retryBackoffMs = 0.1;
+    auto report = jobs::runBatch(std::move(batch), opt);
+
+    EXPECT_EQ(report.failed(), 1);
+    EXPECT_EQ(attempts.load(), 3);
+    EXPECT_EQ(report.outcomes[0].retries, 2);
+    EXPECT_NE(report.outcomes[0].error.find("transient"),
+              std::string::npos);
+}
+
+TEST(Jobs, NonTransientFailuresAreNeverRetried)
+{
+    std::atomic<int> attempts{0};
+    std::vector<jobs::Job> batch;
+    batch.push_back({"fatal", [&] {
+        ++attempts;
+        throw std::runtime_error("hard failure");
+    }});
+    jobs::BatchOptions opt;
+    opt.threads = 1;
+    opt.maxAttempts = 5;
+    auto report = jobs::runBatch(std::move(batch), opt);
+
+    EXPECT_EQ(report.failed(), 1);
+    EXPECT_EQ(attempts.load(), 1) << "non-transient failure retried";
+    EXPECT_EQ(report.outcomes[0].retries, 0);
+}
+
+// --- Cancel-on-error drains in-flight work ---------------------------------
+
+TEST(Jobs, CancelledBatchDrainsInFlightCompilesAndCacheStaysClean)
+{
+    // Kill a batch mid-flight: one job fails immediately while real
+    // compiles are in flight on other workers. runBatch must not
+    // return until those compiles drain, and every artifact the cache
+    // holds afterwards must unpack cleanly — no torn or temp files.
+    namespace fs = std::filesystem;
+    fs::path dir = fs::temp_directory_path() / "sara-cancel-drain-test";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    artifact::ArtifactCache cache(dir.string());
+    artifact::CachingCompiler cc(&cache);
+
+    std::atomic<int> compilesFinished{0};
+    std::vector<jobs::Job> batch;
+    // Distinct keys: each par value compiles (and stores) separately.
+    for (int par : {4, 8}) {
+        batch.push_back({"compile-par" + std::to_string(par), [&, par] {
+            workloads::WorkloadConfig cfg;
+            cfg.par = par;
+            auto w = workloads::buildByName("ms", cfg);
+            compiler::CompilerOptions opt;
+            opt.spec = arch::PlasticineSpec::paper();
+            opt.pnrIterations = 200;
+            cc.compile(w.program, opt);
+            ++compilesFinished;
+        }});
+    }
+    batch.push_back({"boom", [] {
+        throw std::runtime_error("kill the batch");
+    }});
+
+    jobs::BatchOptions opt;
+    opt.threads = 3; // Everything starts together; nothing is pending.
+    opt.cancelOnError = true;
+    auto report = jobs::runBatch(std::move(batch), opt);
+
+    EXPECT_EQ(report.failed(), 1);
+    // In-flight jobs drained to completion before runBatch returned.
+    EXPECT_EQ(compilesFinished.load(), 2);
+
+    int artifacts = 0;
+    for (const auto &de : fs::directory_iterator(dir)) {
+        std::string name = de.path().filename().string();
+        EXPECT_EQ(name.find(".tmp."), std::string::npos)
+            << "torn temp file left behind: " << name;
+        if (de.path().extension() == ".sara") {
+            ++artifacts;
+            EXPECT_NO_THROW(artifact::readArtifactFile(de.path().string()))
+                << name << " is corrupt after cancelled batch";
+        }
+    }
+    EXPECT_EQ(artifacts, 2);
+    fs::remove_all(dir);
 }
 
 TEST(CachingCompiler, DeduplicatesConcurrentIdenticalCompiles)

@@ -36,6 +36,21 @@
  *   --units            print the per-unit activity table
  *   --stalls           print the per-unit stall-attribution table
  *
+ * Fault injection & hang diagnosis:
+ *   --inject SPEC      arm one fault model (repeatable). SPEC grammar:
+ *                      kind[@prob][:site=S][:window=LO-HI][:count=N]
+ *                      [:delay=D]; kinds: noc-delay, noc-dup,
+ *                      stuck-credit, dram-timeout, dram-tail,
+ *                      fifo-leak, artifact-flip, compile-fault
+ *   --inject-seed N    seed for the injection hash (default 1); the
+ *                      same seed replays a faulted run cycle-exactly
+ *   --hang-diagnosis   on a hang, classify deadlock vs starvation vs
+ *                      injected fault from the wait-for graph instead
+ *                      of the flat panic; with --json the structured
+ *                      FailureReport lands in the report file
+ *   --retries N        retry jobs failing with a transient error up to
+ *                      N times (batch mode)
+ *
  * Artifacts & caching:
  *   --cache            compile through the artifact cache at the
  *                      default location ($SARA_CACHE_DIR or
@@ -61,6 +76,7 @@
 #include <vector>
 
 #include "artifact/cache.h"
+#include "fault/failure.h"
 #include "jobs/jobs.h"
 #include "runtime/run.h"
 #include "support/json.h"
@@ -85,6 +101,8 @@ usage()
                  "[--dump-graph] [--units] [--stalls]\n"
                  "             [--cache] [--cache-dir DIR] "
                  "[--emit-artifact FILE] [--load-artifact FILE]\n"
+                 "             [--inject SPEC ...] [--inject-seed N] "
+                 "[--hang-diagnosis] [--retries N]\n"
                  "             [--metrics]\n"
                  "       sarac --batch [workload ...] [-j N] "
                  "[common options]\n"
@@ -106,6 +124,11 @@ struct CliOptions
     std::string cacheDir;
     bool useCache = false;
     std::string emitArtifact, loadArtifact;
+    std::vector<fault::FaultSpec> faults;
+    uint64_t injectSeed = 1;
+    int retries = 0;
+    /** Built from `faults` in realMain; also hangs off rc.sim.fault. */
+    const fault::FaultInjector *injector = nullptr;
 };
 
 void
@@ -242,6 +265,8 @@ runSingle(CliOptions &cli)
         cache = std::make_unique<artifact::ArtifactCache>(cli.cacheDir);
         compiler = std::make_unique<artifact::CachingCompiler>(
             cache.get());
+        cache->setFaultInjector(cli.injector);
+        compiler->setFaultInjector(cli.injector);
         cli.rc.cachingCompiler = compiler.get();
         inform("artifact cache at ", cache->dir());
     }
@@ -266,7 +291,25 @@ runSingle(CliOptions &cli)
         }
     }
 
-    auto r = runtime::runWorkload(w, cli.rc);
+    runtime::RunOutcome r;
+    try {
+        r = runtime::runWorkload(w, cli.rc);
+    } catch (const fault::HangError &e) {
+        // Structured escalation: the classified FailureReport lands in
+        // the JSON report file (when requested) before the panic
+        // propagates to main's exit-code mapping (4).
+        if (!cli.jsonFile.empty()) {
+            std::FILE *f = std::fopen(cli.jsonFile.c_str(), "w");
+            if (f) {
+                const std::string doc = e.report().json();
+                std::fwrite(doc.data(), 1, doc.size(), f);
+                std::fputc('\n', f);
+                std::fclose(f);
+                inform("wrote failure report to ", cli.jsonFile);
+            }
+        }
+        throw;
+    }
 
     if (!cli.emitArtifact.empty()) {
         std::string key = r.artifactKey.empty()
@@ -299,8 +342,11 @@ runBatch(CliOptions &cli)
     if (cli.useCache)
         cache = std::make_unique<artifact::ArtifactCache>(cli.cacheDir);
     artifact::CachingCompiler compiler(cache.get());
-    if (cache)
+    compiler.setFaultInjector(cli.injector);
+    if (cache) {
+        cache->setFaultInjector(cli.injector);
         inform("artifact cache at ", cache->dir());
+    }
 
     struct Slot
     {
@@ -328,6 +374,7 @@ runBatch(CliOptions &cli)
 
     jobs::BatchOptions opt;
     opt.threads = cli.threads;
+    opt.maxAttempts = cli.retries + 1;
     // In batch mode --trace means the batch timeline, not N simulator
     // traces racing on one file (the per-job RunConfig clears it).
     opt.traceFile = cli.rc.sim.traceFile;
@@ -475,6 +522,14 @@ realMain(int argc, char **argv)
         } else if (arg == "--noc-stats") {
             cli.rc.sim.useNoc = true;
             cli.nocStats = true;
+        } else if (arg == "--inject") {
+            cli.faults.push_back(fault::parseFaultSpec(next()));
+        } else if (arg == "--inject-seed") {
+            cli.injectSeed = std::stoull(next());
+        } else if (arg == "--hang-diagnosis") {
+            cli.rc.sim.hangDiagnosis = true;
+        } else if (arg == "--retries") {
+            cli.retries = std::stoi(next());
         } else if (arg == "--trace") {
             cli.rc.sim.traceFile = next();
         } else if (arg == "--json") {
@@ -507,6 +562,16 @@ realMain(int argc, char **argv)
 
     if (cli.useCache)
         telemetry::Registry::global().setEnabled(true);
+
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (!cli.faults.empty()) {
+        injector = std::make_unique<fault::FaultInjector>(
+            cli.faults, cli.injectSeed);
+        cli.injector = injector.get();
+        cli.rc.sim.fault = injector.get();
+        inform("fault injection armed: ", cli.faults.size(),
+               " spec(s), seed ", cli.injectSeed);
+    }
 
     int rc;
     if (cli.batch) {
