@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Host-throughput microbenchmark for the simulator event core. Unlike
+ * the figure binaries (which reproduce *simulated* results), this one
+ * measures how fast the simulator itself runs: wall-clock Mcycles/s
+ * and events/s per workload, the spurious-wakeup ratio under the
+ * targeted notifyOne policy vs the broadcast notifyAll baseline, and
+ * peak RSS. Each workload compiles once and re-simulates `--reps`
+ * times per configuration (best-of to shed scheduler noise).
+ *
+ * Simulated cycle counts must be identical across wakeup policies —
+ * the benchmark aborts if they are not, so a perf run doubles as a
+ * cycle-identity check. The deterministic counters (cycles, events,
+ * wakeups, spurious) land in BENCH_perf.json, which CI diffs against
+ * bench/golden_perf.json; wall-times are reported but never gated.
+ *
+ *   bench_perf [--reps N] [--workloads mlp,pr,...] [--out FILE.json]
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <sys/resource.h>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace sara::bench {
+namespace {
+
+struct PerfOptions
+{
+    int reps = 3;
+    std::string out = "BENCH_perf.json";
+    std::vector<std::string> workloads = {"mlp", "lstm", "gda",
+                                          "logreg", "ms", "pr"};
+};
+
+PerfOptions
+parseArgs(int argc, char **argv)
+{
+    PerfOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--reps")
+            opt.reps = std::stoi(next());
+        else if (arg == "--out")
+            opt.out = next();
+        else if (arg == "--workloads") {
+            opt.workloads.clear();
+            std::string list = next();
+            size_t pos = 0;
+            while (pos < list.size()) {
+                size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                opt.workloads.push_back(list.substr(pos, comma - pos));
+                pos = comma + 1;
+            }
+        } else
+            fatal("unknown option ", arg,
+                  " (supported: --reps N, --workloads a,b,c, --out F)");
+    }
+    if (opt.reps < 1)
+        fatal("--reps must be >= 1");
+    return opt;
+}
+
+uint64_t
+peakRssKb()
+{
+    struct rusage ru{};
+    getrusage(RUSAGE_SELF, &ru);
+    return static_cast<uint64_t>(ru.ru_maxrss); // KiB on Linux.
+}
+
+/** One simulate-only measurement (compile reused via preCompiled). */
+struct Measure
+{
+    sim::SimResult sim;
+    double bestMs = 0.0;
+};
+
+Measure
+simulate(const workloads::Workload &w, runtime::RunConfig rc,
+         const runtime::RunOutcome &compiled, bool noc, bool targeted,
+         int reps)
+{
+    rc.check = false;
+    rc.cachingCompiler = nullptr;
+    rc.preCompiled = &compiled.compiled;
+    rc.sim.useNoc = noc;
+    rc.sim.targetedWakeups = targeted;
+    rc.sim.traceFile.clear();
+    Measure m;
+    for (int r = 0; r < reps; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        auto out = runtime::runWorkload(w, rc);
+        auto t1 = std::chrono::steady_clock::now();
+        double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (r == 0 || ms < m.bestMs)
+            m.bestMs = ms;
+        m.sim = std::move(out.sim);
+    }
+    return m;
+}
+
+int
+perfMain(int argc, char **argv)
+{
+    PerfOptions opt = parseArgs(argc, argv);
+    banner("event-core host throughput (wall-clock, not simulated)");
+
+    Table table({"app", "mode", "cycles", "ms", "Mcyc/s", "Mev/s",
+                 "wakeups", "spurious%", "bcast spur%", "rss MB"});
+    BenchJson out("perf");
+
+    uint64_t totalWake[2] = {0, 0}, totalSpur[2] = {0, 0};
+    for (const std::string &name : opt.workloads) {
+        workloads::WorkloadConfig cfg;
+        cfg.par = 8;
+        auto w = workloads::buildByName(name, cfg);
+        runtime::RunConfig rc;
+        rc.check = false;
+        auto compiled = runtime::runWorkload(w, rc); // Compile once.
+
+        for (bool noc : {false, true}) {
+            Measure tgt =
+                simulate(w, rc, compiled, noc, true, opt.reps);
+            Measure bcast =
+                simulate(w, rc, compiled, noc, false, opt.reps);
+            if (tgt.sim.cycles != bcast.sim.cycles)
+                fatal(name, ": wakeup policies disagree on cycles (",
+                      tgt.sim.cycles, " targeted vs ",
+                      bcast.sim.cycles, " broadcast)");
+
+            const char *mode = noc ? "noc" : "fixed";
+            double sec = tgt.bestMs / 1e3;
+            double mcycS =
+                sec > 0 ? tgt.sim.cycles / sec / 1e6 : 0.0;
+            double mevS =
+                sec > 0 ? tgt.sim.hostEvents / sec / 1e6 : 0.0;
+            auto ratio = [](const sim::SimResult &s) {
+                return s.wakeups
+                           ? static_cast<double>(s.spuriousWakeups) /
+                                 static_cast<double>(s.wakeups)
+                           : 0.0;
+            };
+            uint64_t rss = peakRssKb();
+            totalWake[0] += tgt.sim.wakeups;
+            totalSpur[0] += tgt.sim.spuriousWakeups;
+            totalWake[1] += bcast.sim.wakeups;
+            totalSpur[1] += bcast.sim.spuriousWakeups;
+
+            table.addRow({name, mode, std::to_string(tgt.sim.cycles),
+                          Table::fmt(tgt.bestMs, 2),
+                          Table::fmt(mcycS, 2), Table::fmt(mevS, 2),
+                          std::to_string(tgt.sim.wakeups),
+                          Table::fmt(100.0 * ratio(tgt.sim), 1),
+                          Table::fmt(100.0 * ratio(bcast.sim), 1),
+                          Table::fmt(rss / 1024.0, 0)});
+
+            out.beginRow()
+                .kv("workload", name)
+                .kv("mode", mode)
+                .kv("cycles", tgt.sim.cycles)
+                .kv("events", tgt.sim.hostEvents)
+                .kv("wakeups", tgt.sim.wakeups)
+                .kv("spurious", tgt.sim.spuriousWakeups)
+                .kv("bcast_wakeups", bcast.sim.wakeups)
+                .kv("bcast_spurious", bcast.sim.spuriousWakeups)
+                .kv("host_ms", tgt.bestMs)
+                .kv("bcast_host_ms", bcast.bestMs)
+                .kv("mcycles_per_s", mcycS)
+                .kv("events_per_s", mevS * 1e6)
+                .kv("spurious_ratio", ratio(tgt.sim))
+                .kv("bcast_spurious_ratio", ratio(bcast.sim))
+                .kv("peak_rss_kb", rss)
+                .endRow();
+        }
+    }
+    std::printf("%s", table.str().c_str());
+
+    auto pct = [](uint64_t spur, uint64_t wake) {
+        return wake ? 100.0 * static_cast<double>(spur) /
+                          static_cast<double>(wake)
+                    : 0.0;
+    };
+    std::printf("\nspurious wakeups: targeted %.1f%% (%llu/%llu) vs "
+                "broadcast %.1f%% (%llu/%llu)\n",
+                pct(totalSpur[0], totalWake[0]),
+                static_cast<unsigned long long>(totalSpur[0]),
+                static_cast<unsigned long long>(totalWake[0]),
+                pct(totalSpur[1], totalWake[1]),
+                static_cast<unsigned long long>(totalSpur[1]),
+                static_cast<unsigned long long>(totalWake[1]));
+
+    out.write(opt.out);
+    return 0;
+}
+
+} // namespace
+} // namespace sara::bench
+
+int
+main(int argc, char **argv)
+{
+    return sara::bench::perfMain(argc, argv);
+}

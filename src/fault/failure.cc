@@ -105,9 +105,13 @@ classify(std::vector<WaitNode> blocked, const FaultInjector *inj,
 std::string
 FailureReport::str() const
 {
-    std::string out = "simulation hang at cycle " +
-                      std::to_string(atCycle) + ": classified " +
-                      hangClassName(cls);
+    std::string out =
+        budgetExceeded
+            ? "simulation exceeded its " + std::to_string(budget) +
+                  "-cycle budget at cycle " + std::to_string(atCycle) +
+                  ": classified " + hangClassName(cls)
+            : "simulation hang at cycle " + std::to_string(atCycle) +
+                  ": classified " + hangClassName(cls);
     if (cls == HangClass::InjectedFault)
         out += " (injection site: " + culprit + ")";
     if (seeded)
@@ -145,6 +149,10 @@ FailureReport::json() const
     j.kv("schema", "sara-failure-report/v1");
     j.kv("classification", hangClassName(cls));
     j.kv("at_cycle", atCycle);
+    if (budgetExceeded) {
+        j.kv("budget_exceeded", true);
+        j.kv("cycle_budget", budget);
+    }
     if (seeded) {
         j.kv("inject_seed", seed);
         j.kv("injections_total", injectionsTotal);

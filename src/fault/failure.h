@@ -85,6 +85,11 @@ struct FailureReport
     std::string culprit;
     std::vector<InjectionRecord> injections;
     uint64_t injectionsTotal = 0;
+    /** The run hit its cycle budget with events still firing (livelock
+     *  tripwire) rather than quiescing with a drained event queue. */
+    bool budgetExceeded = false;
+    /** The exhausted cycle budget (valid when `budgetExceeded`). */
+    uint64_t budget = 0;
 
     /** Human-readable diagnosis (the panic message). */
     std::string str() const;

@@ -134,6 +134,12 @@ class NocModel
      */
     void setFaultInjector(const fault::FaultInjector *inj) { inj_ = inj; }
 
+    /** Wake one parked producer per freed link slot (a grant frees
+     *  exactly one) instead of broadcasting to every producer sharing
+     *  the first-hop link. Cycle-identical to the broadcast; kept
+     *  switchable for the perf harness's wakeup A/B accounting. */
+    void setTargetedWakeups(bool on) { targetedWakeups_ = on; }
+
     /** Site name of the stream's first-hop link, e.g. "(1,2)E"; empty
      *  for streams that don't ride the arbitrated network. Producers
      *  blocked on admission report this as the wanted resource, which
@@ -191,6 +197,7 @@ class NocModel
     sim::Scheduler *sched_;
     NocSpec spec_;
     const fault::FaultInjector *inj_ = nullptr;
+    bool targetedWakeups_ = true;
 
     struct StreamState
     {

@@ -158,6 +158,11 @@ jsonReport(const workloads::Workload &w, const RunConfig &config,
     j.kv("flops", r.sim.flops);
     j.kv("gflops", r.gflops());
     j.kv("compute_utilization", r.sim.avgComputeUtilization);
+    j.key("host").beginObject();
+    j.kv("events", r.sim.hostEvents);
+    j.kv("wakeups", r.sim.wakeups);
+    j.kv("spurious_wakeups", r.sim.spuriousWakeups);
+    j.endObject();
     j.key("stalls").beginObject();
     for (int c = 0; c < sim::kNumStallCauses; ++c)
         j.kv(sim::stallCauseName(static_cast<sim::StallCause>(c)),

@@ -26,6 +26,53 @@ namespace sara::sim {
 /** One data element: the active-lane values of a vectorized firing. */
 using Element = std::vector<double>;
 
+/**
+ * Recycler for Element lane buffers. The fire path allocates one
+ * Element per pushed firing and frees it at the consumer's pop; with
+ * a pool the freed buffer's heap allocation is reused instead
+ * (steady-state simulation becomes allocation-free on this path).
+ * acquire() does not zero the reused buffer — callers overwrite every
+ * lane; acquireZeroed() is for skip/default elements.
+ */
+class ElementPool
+{
+  public:
+    Element
+    acquire(size_t lanes)
+    {
+        if (free_.empty())
+            return Element(lanes);
+        Element e = std::move(free_.back());
+        free_.pop_back();
+        e.resize(lanes);
+        return e;
+    }
+
+    Element
+    acquireZeroed(size_t lanes)
+    {
+        if (free_.empty())
+            return Element(lanes, 0.0);
+        Element e = std::move(free_.back());
+        free_.pop_back();
+        e.assign(lanes, 0.0);
+        return e;
+    }
+
+    void
+    release(Element &&e)
+    {
+        if (e.capacity() > 0 && free_.size() < kMaxFree)
+            free_.push_back(std::move(e));
+    }
+
+    size_t pooled() const { return free_.size(); }
+
+  private:
+    static constexpr size_t kMaxFree = 1024;
+    std::vector<Element> free_;
+};
+
 /** Runtime FIFO backing one dfg::Stream. */
 class FifoState
 {
@@ -33,15 +80,19 @@ class FifoState
     /** With a NoC model attached (and a routed stream), in-flight
      *  elements traverse the cycle-level network instead of the fixed
      *  `latency`-cycle delay; the credit window is unchanged. An
-     *  injector (may be null) enables the fifo-leak fault model. */
+     *  injector (may be null) enables the fifo-leak fault model; a
+     *  pool (may be null, shared across streams) recycles popped
+     *  Element buffers back to the fire path. */
     void
     init(Scheduler &sched, const dfg::Stream &spec,
          noc::NocModel *noc = nullptr,
-         const fault::FaultInjector *inj = nullptr)
+         const fault::FaultInjector *inj = nullptr,
+         ElementPool *pool = nullptr)
     {
         sched_ = &sched;
         spec_ = &spec;
         inj_ = inj;
+        pool_ = pool;
         noc_ = noc && noc->participates(spec.id) ? noc : nullptr;
         isToken_ = spec.kind == dfg::StreamKind::Token;
         latency_ = static_cast<uint64_t>(spec.latency);
@@ -121,6 +172,8 @@ class FifoState
     pop()
     {
         SARA_ASSERT(!stored_.empty(), "pop of empty fifo ", spec_->name);
+        if (pool_)
+            pool_->release(std::move(stored_.front()));
         stored_.pop_front();
         ++pops_;
         // Injected credit leak: the freed slot's credit is lost in
@@ -130,7 +183,12 @@ class FifoState
         if (inj_ && capacity_ != UINT64_MAX && capacity_ > 1 &&
             inj_->fifoLeak(spec_->name, sched_->now()))
             --capacity_;
-        spaceCv.notifyAll();
+        // A stream has exactly one producer engine, so spaceCv holds at
+        // most one waiter: notifyOne is equivalent to a broadcast, and
+        // the hasWaiters guard keeps waiter-free pops (the common case)
+        // off the scheduler entirely.
+        if (spaceCv.hasWaiters())
+            spaceCv.notifyOne();
     }
 
     uint64_t pushes() const { return pushes_; }
@@ -170,7 +228,9 @@ class FifoState
         SARA_ASSERT(!inflight_.empty(), "delivery with nothing in flight");
         stored_.push_back(std::move(inflight_.front()));
         inflight_.pop_front();
-        dataCv.notifyAll();
+        // Single consumer engine per stream: see pop().
+        if (dataCv.hasWaiters())
+            dataCv.notifyOne();
     }
 
     /** NoC ejection callback (per-stream order is guaranteed). */
@@ -184,6 +244,7 @@ class FifoState
     const dfg::Stream *spec_ = nullptr;
     const fault::FaultInjector *inj_ = nullptr;
     noc::NocModel *noc_ = nullptr;
+    ElementPool *pool_ = nullptr;
     std::deque<Element> stored_;
     std::deque<Element> inflight_;
     uint64_t capacity_ = 0;

@@ -132,6 +132,16 @@ struct Simulator::Engine
     CondVar agCv;
     Simulator *sim = nullptr; ///< For global DRAM telemetry.
 
+    /** The NoC link wait list this engine was just woken from (null
+     *  outside a wake). Under targeted wakeups, any park back on the
+     *  same list before the next suspension goes to the notify
+     *  *cursor*: a broadcast would have cleared the list, so this
+     *  engine's re-park lands after the same-cycle racers that beat
+     *  its resume but ahead of the still-parked waiters (see
+     *  CondVar::notifyOne). Cleared at every suspension point (the
+     *  resume-chain ends there). */
+    CondVar *grantWake = nullptr;
+
     // Stats and diagnostics.
     UnitStats stats;
     uint64_t flops = 0;
@@ -181,6 +191,7 @@ Simulator::buildState()
     if (opt_.useNoc) {
         noc_ = std::make_unique<noc::NocModel>(sched_, opt_.noc);
         noc_->setFaultInjector(opt_.fault);
+        noc_->setTargetedWakeups(opt_.targetedWakeups);
         for (size_t i = 0; i < g_.numStreams(); ++i)
             noc_->registerStream(g_.stream(dfg::StreamId(i)));
     }
@@ -188,7 +199,7 @@ Simulator::buildState()
     fifos_.resize(g_.numStreams());
     for (size_t i = 0; i < g_.numStreams(); ++i)
         fifos_[i].init(sched_, g_.stream(dfg::StreamId(i)), noc_.get(),
-                       opt_.fault);
+                       opt_.fault, &pool_);
 
     // Memory groups.
     for (const auto &u : g_.units()) {
@@ -310,7 +321,12 @@ Simulator::awaitNonEmpty(Engine &e, FifoState &f, StallCause cause,
         e.parkOn(Engine::WaitKind::StreamData, f.spec().id.v, why,
                  f.spec().name);
         uint64_t blockedAt = sched_.now();
+        e.grantWake = nullptr;
         co_await f.dataCv.wait();
+        f.dataCv.wakeLanded();
+        ++wakeups_;
+        if (f.empty())
+            ++spuriousWakeups_;
         e.stats.stallCycles[static_cast<int>(cause)] +=
             sched_.now() - blockedAt;
     }
@@ -331,7 +347,12 @@ Simulator::awaitSpace(Engine &e, FifoState &f, StallCause cause,
             e.parkOn(Engine::WaitKind::StreamSpace, f.spec().id.v, why,
                      f.spec().name);
             uint64_t blockedAt = sched_.now();
+            e.grantWake = nullptr;
             co_await f.spaceCv.wait();
+            f.spaceCv.wakeLanded();
+            ++wakeups_;
+            if (!f.hasSpace())
+                ++spuriousWakeups_;
             e.stats.stallCycles[static_cast<int>(cause)] +=
                 sched_.now() - blockedAt;
             continue;
@@ -340,7 +361,20 @@ Simulator::awaitSpace(Engine &e, FifoState &f, StallCause cause,
             e.parkOn(Engine::WaitKind::NetInject, f.spec().id.v,
                      "link busy", f.spec().name);
             uint64_t blockedAt = sched_.now();
-            co_await f.injectCv().wait();
+            // An engine that was just woken off this link's wait list
+            // re-parks at the notify cursor — the slot its broadcast
+            // re-park would occupy (after same-cycle racers, before
+            // the surviving waiters): see CondVar::notifyOne and
+            // Engine::grantWake.
+            sim::CondVar &icv = f.injectCv();
+            bool atCursor = opt_.targetedWakeups && e.grantWake == &icv;
+            e.grantWake = nullptr;
+            co_await icv.wait(atCursor);
+            icv.wakeLanded();
+            e.grantWake = &icv;
+            ++wakeups_;
+            if (!f.hasSpace() || !f.canInject())
+                ++spuriousWakeups_;
             e.stats.stallCycles[static_cast<int>(
                 StallCause::Network)] += sched_.now() - blockedAt;
             continue;
@@ -498,6 +532,7 @@ Simulator::fireOnce(Engine &e)
     if (!opt_.traceFile.empty())
         recordFiring(e, sched_.now(), 1 + extraCycles, false);
     e.flops += static_cast<uint64_t>(e.arithLops) * e.activeLanes;
+    e.grantWake = nullptr;
     co_await sched_.delay(1 + extraCycles);
 }
 
@@ -520,12 +555,14 @@ Simulator::skipRound(Engine &e, int k)
         auto &f = fifos_[u.outputs[u.respOutput].stream.index()];
         co_await awaitSpace(e, f, StallCause::Credit,
                             "skip response space");
-        f.push(Element(std::max(1, e.activeLanes), 0.0));
+        f.push(pool_.acquireZeroed(
+            static_cast<size_t>(std::max(1, e.activeLanes))));
     }
     ++e.stats.skips;
     e.stats.busyCycles += 1;
     if (!opt_.traceFile.empty())
         recordFiring(e, sched_.now(), 1, true);
+    e.grantWake = nullptr;
     co_await sched_.delay(1);
 }
 
@@ -542,7 +579,12 @@ Simulator::wrapActions(Engine &e, int k)
             e.parkOn(Engine::WaitKind::DramDrain, -1,
                      "DRAM write drain", u.name);
             uint64_t blockedAt = sched_.now();
+            e.grantWake = nullptr;
             co_await e.agCv.wait();
+            e.agCv.wakeLanded();
+            ++wakeups_;
+            if (e.outstanding > 0)
+                ++spuriousWakeups_;
             e.stats.stallCycles[static_cast<int>(
                 StallCause::DramLatency)] += sched_.now() - blockedAt;
         }
@@ -558,7 +600,9 @@ Simulator::wrapActions(Engine &e, int k)
         } else if (k == e.n) {
             f.push(perFiringElement(e, ob));
         } else {
-            f.push(Element{combinedOutputValue(e, ob)});
+            Element one = pool_.acquire(1);
+            one[0] = combinedOutputValue(e, ob);
+            f.push(std::move(one));
         }
     }
 
@@ -667,7 +711,7 @@ Simulator::combinedOutputValue(Engine &e, const dfg::OutputBinding &ob)
 Element
 Simulator::perFiringElement(Engine &e, const dfg::OutputBinding &ob)
 {
-    Element elem(e.activeLanes);
+    Element elem = pool_.acquire(static_cast<size_t>(e.activeLanes));
     for (int l = 0; l < e.activeLanes; ++l)
         elem[l] = e.lv[ob.lop * e.vec + l];
     return elem;
@@ -724,6 +768,7 @@ Simulator::applyMemPort(Engine &e, uint64_t &extraCycles)
             e.blockReason = "PMU bus";
             e.blockDetail = u.name;
             uint64_t blockedAt = sched_.now();
+            e.grantWake = nullptr;
             co_await sched_.delay(busFree - sched_.now());
             e.stats.stallCycles[static_cast<int>(
                 StallCause::BusContention)] += sched_.now() - blockedAt;
@@ -733,7 +778,7 @@ Simulator::applyMemPort(Engine &e, uint64_t &extraCycles)
     }
 
     if (u.dir == AccessDir::Read) {
-        Element out(lanes);
+        Element out = pool_.acquire(static_cast<size_t>(lanes));
         for (int l = 0; l < lanes; ++l) {
             auto [shard, offset] = locate(grp, addrs[l]);
             if (!u.dynamicBank)
@@ -784,7 +829,12 @@ Simulator::applyAg(Engine &e)
         e.parkOn(Engine::WaitKind::DramWindow, -1,
                  "DRAM outstanding limit", u.name);
         uint64_t blockedAt = sched_.now();
+        e.grantWake = nullptr;
         co_await e.agCv.wait();
+        e.agCv.wakeLanded();
+        ++wakeups_;
+        if (e.outstanding >= opt_.agOutstanding)
+            ++spuriousWakeups_;
         e.stats.stallCycles[static_cast<int>(StallCause::DramLatency)] +=
             sched_.now() - blockedAt;
     }
@@ -834,7 +884,7 @@ Simulator::applyAg(Engine &e)
     }
 
     if (u.dir == AccessDir::Read) {
-        Element out(lanes);
+        Element out = pool_.acquire(static_cast<size_t>(lanes));
         for (int l = 0; l < lanes; ++l) {
             SARA_ASSERT(addrs[l] >= 0 &&
                             addrs[l] < static_cast<int64_t>(data.size()),
@@ -882,7 +932,17 @@ Simulator::applyAg(Engine &e)
                 --eng->outstanding;
                 --eng->sim->dramOutstanding_;
                 eng->sim->sampleDram();
-                eng->agCv.notifyAll();
+                // The AG engine is the CV's only possible waiter. A
+                // drain waiter (wants outstanding == 0) would treat
+                // every intermediate completion as spurious, so
+                // targeted mode notifies it only on the last one; a
+                // window waiter is unblocked by any completion.
+                if (!eng->agCv.hasWaiters())
+                    return;
+                if (!eng->sim->opt_.targetedWakeups ||
+                    eng->waitKind != Engine::WaitKind::DramDrain ||
+                    eng->outstanding == 0)
+                    eng->agCv.notifyOne();
             },
             &e, std::max(maxComplete, sched_.now()));
     }
@@ -914,6 +974,9 @@ Simulator::run()
     }
 
     uint64_t end = sched_.run(opt_.maxCycles);
+
+    if (sched_.budgetExceeded())
+        reportBudgetExceeded();
 
     bool allDone = true;
     for (auto &e : engines_) {
@@ -961,6 +1024,9 @@ Simulator::run()
     }
     result.dramOutstanding = dramOutstandingSeries_;
     result.dramBytesSeries = dramBytesSeries_;
+    result.hostEvents = sched_.eventsExecuted();
+    result.wakeups = wakeups_;
+    result.spuriousWakeups = spuriousWakeups_;
     if (noc_)
         result.noc = noc_->stats();
     if (!opt_.traceFile.empty())
@@ -1202,6 +1268,42 @@ Simulator::reportHang()
     if (!opt_.traceFile.empty())
         writeTrace(&fr);
     // Same logging contract as panic(); the throw carries structure.
+    detail::logMessage(LogLevel::Error, "panic", fr.str());
+    throw fault::HangError(std::move(fr));
+}
+
+void
+Simulator::reportBudgetExceeded()
+{
+    // The cycle budget is a livelock tripwire: events were still
+    // firing when the budget ran out, so the run was spinning rather
+    // than quiescing. Escalate through the same classified-failure
+    // surface as a drained-queue hang (exit 4); with diagnosis the
+    // wait-for graph over the unfinished engines is classified — no
+    // cycle closes over a spinning engine, so a true livelock lands
+    // in starvation-livelock, while a budget blown by an injected
+    // permanent fault is still pinned on the injection site.
+    if (!opt_.hangDiagnosis) {
+        if (!opt_.traceFile.empty())
+            writeTrace();
+        panic("simulation exceeded ", opt_.maxCycles,
+              " cycles; livelock or runaway workload");
+    }
+    fault::FailureReport fr =
+        fault::classify(buildWaitGraph(), opt_.fault, sched_.now());
+    fr.budgetExceeded = true;
+    fr.budget = opt_.maxCycles;
+    if (fr.cls == fault::HangClass::Deadlock) {
+        // A wait-for cycle in a mid-flight snapshot is transient (the
+        // wanted data may simply still be in the network): with events
+        // pending the run is live by definition, so a budget overrun
+        // is a livelock, never a deadlock. Injected-fault attribution
+        // stands — a permanent fault can burn the budget.
+        fr.cls = fault::HangClass::Starvation;
+        fr.cycle.clear();
+    }
+    if (!opt_.traceFile.empty())
+        writeTrace(&fr);
     detail::logMessage(LogLevel::Error, "panic", fr.str());
     throw fault::HangError(std::move(fr));
 }

@@ -86,6 +86,12 @@ struct SimOptions
      *  starvation vs injected fault, and throw a structured
      *  fault::HangError instead of the flat deadlock panic. */
     bool hangDiagnosis = false;
+    /** Targeted wakeups: notifyOne on single-waiter FIFO/NoC condition
+     *  variables and predicate-gated AG-drain notifies, instead of
+     *  broadcast notifyAll. Cycle-identical either way (asserted by
+     *  the CycleIdentity goldens); the broadcast baseline is kept so
+     *  the perf harness can A/B the spurious-wakeup ratio. */
+    bool targetedWakeups = true;
 };
 
 /**
@@ -167,6 +173,13 @@ struct SimResult
      *  shards; on-chip tensors read from the most recently written
      *  multibuffer copy). */
     std::vector<std::vector<double>> tensors;
+    /** Host-side event-core counters (wall-clock throughput metrics,
+     *  not simulated time): scheduler events executed, coroutine
+     *  wakeups, and the subset of wakeups whose predicate was still
+     *  false on resume (spurious — the thundering-herd cost). */
+    uint64_t hostEvents = 0;
+    uint64_t wakeups = 0;
+    uint64_t spuriousWakeups = 0;
 };
 
 /** Executes one compiled VUDFG against a DRAM model. */
@@ -211,6 +224,7 @@ class Simulator
 
     void buildState();
     [[noreturn]] void reportHang();
+    [[noreturn]] void reportBudgetExceeded();
     std::vector<fault::WaitNode> buildWaitGraph() const;
     void collectTensors(SimResult &result);
     void recordFiring(const Engine &e, uint64_t start, uint64_t dur,
@@ -227,6 +241,11 @@ class Simulator
 
     /** DRAM requests in flight across every AG (telemetry). */
     int dramOutstanding_ = 0;
+    /** Wakeup accounting (see SimResult::wakeups). */
+    uint64_t wakeups_ = 0;
+    uint64_t spuriousWakeups_ = 0;
+    /** Recycled Element lane buffers for the fire path. */
+    ElementPool pool_;
     telemetry::TimeSeries dramOutstandingSeries_{4096, 8};
     telemetry::TimeSeries dramBytesSeries_{4096, 8};
 

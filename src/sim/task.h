@@ -10,6 +10,8 @@
  * awaiters re-check their predicate in a loop).
  */
 
+#include <algorithm>
+#include <array>
 #include <coroutine>
 #include <cstdint>
 #include <exception>
@@ -122,14 +124,33 @@ class Task
 };
 
 /**
- * Discrete-event scheduler: a time-ordered queue of coroutine
+ * Discrete-event scheduler: a two-level calendar queue of coroutine
  * resumptions. Same-cycle events run in insertion order.
+ *
+ * Nearly every event in a dataflow simulation lands at `now + 0` or
+ * `now + 1` (wakeups, firing delays, link grants); only DRAM responses
+ * and fault windows reach hundreds of cycles out. The queue therefore
+ * keeps a wheel of `kWheelCycles` per-cycle FIFO buckets for events
+ * within the near window (O(1) push, no comparisons) and spills the
+ * far tail into a small binary-heap overflow.
+ *
+ * Determinism contract: events execute in exact `(at, seq)` order,
+ * where `seq` is the global scheduling order — identical to a single
+ * time-ordered binary heap (asserted by the property tests in
+ * tests/test_sched.cc). The wheel only accepts an event for cycle T
+ * once `T - now < kWheelCycles`, so every overflow entry for T was
+ * scheduled strictly before any wheel entry for T (smaller seq);
+ * draining the overflow heap first and then the bucket FIFO replays
+ * the exact heap order.
  */
 class Scheduler
 {
   public:
     /** Raw callback event: fn(arg) runs at its scheduled time. */
     using EventFn = void (*)(void *);
+
+    /** Near-window size (cycles) of the calendar wheel. Power of two. */
+    static constexpr uint64_t kWheelCycles = 64;
 
     uint64_t now() const { return now_; }
 
@@ -138,7 +159,13 @@ class Scheduler
     scheduleFnAt(EventFn fn, void *arg, uint64_t at)
     {
         SARA_ASSERT(at >= now_, "scheduling into the past");
-        queue_.push(Event{at, seq_++, fn, arg});
+        ++pending_;
+        if (at - now_ < kWheelCycles) {
+            buckets_[at & kWheelMask].push_back(Event{at, seq_++, fn, arg});
+            ++pendingNear_;
+        } else {
+            overflow_.push(Event{at, seq_++, fn, arg});
+        }
     }
 
     /** Schedule `h` to resume at absolute time `at`. */
@@ -158,24 +185,58 @@ class Scheduler
         scheduleAt(h, now_ + delay);
     }
 
-    /** Run until no events remain. Returns final time. */
+    /**
+     * Run until no events remain, or until the next event would lie
+     * past `maxCycles` — then stop with `budgetExceeded()` set so the
+     * caller can escalate through its hang-diagnosis path. Returns the
+     * final time.
+     */
     uint64_t
     run(uint64_t maxCycles = UINT64_MAX)
     {
-        while (!queue_.empty()) {
-            Event e = queue_.top();
-            queue_.pop();
-            SARA_ASSERT(e.at >= now_, "time went backwards");
-            now_ = e.at;
-            if (now_ > maxCycles)
-                fatal("simulation exceeded ", maxCycles,
-                      " cycles; livelock or runaway workload");
-            e.fn(e.arg);
+        budgetExceeded_ = false;
+        while (pending_ > 0) {
+            uint64_t next = nextEventAt();
+            if (next > maxCycles) {
+                budgetExceeded_ = true;
+                break;
+            }
+            now_ = next;
+            // Overflow entries for this cycle carry strictly smaller
+            // seq than any bucket entry (see class comment): heap
+            // first, bucket FIFO second. An overflow event scheduling
+            // at `now` lands in the bucket (distance 0), so this loop
+            // terminates.
+            while (!overflow_.empty() && overflow_.top().at == now_) {
+                Event e = overflow_.top();
+                overflow_.pop();
+                --pending_;
+                ++executed_;
+                e.fn(e.arg);
+            }
+            // Index-based: executing an event may append same-cycle
+            // events to this very bucket (reallocating it).
+            auto &bucket = buckets_[now_ & kWheelMask];
+            for (size_t i = 0; i < bucket.size(); ++i) {
+                Event e = bucket[i];
+                --pending_;
+                --pendingNear_;
+                ++executed_;
+                e.fn(e.arg);
+            }
+            bucket.clear(); // Keeps capacity: steady state is alloc-free.
         }
         return now_;
     }
 
-    bool idle() const { return queue_.empty(); }
+    bool idle() const { return pending_ == 0; }
+
+    /** The last run() stopped because the next event would overrun the
+     *  cycle budget (the budget-cycle event itself still executes). */
+    bool budgetExceeded() const { return budgetExceeded_; }
+
+    /** Events executed since construction (host-throughput metric). */
+    uint64_t eventsExecuted() const { return executed_; }
 
     /** Awaitable suspending the current task for `cycles`. */
     auto
@@ -210,38 +271,80 @@ class Scheduler
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+    static constexpr uint64_t kWheelMask = kWheelCycles - 1;
+    static_assert((kWheelCycles & kWheelMask) == 0,
+                  "wheel size must be a power of two");
+
+    /** Earliest pending event time (caller guarantees pending_ > 0). */
+    uint64_t
+    nextEventAt() const
+    {
+        uint64_t next =
+            overflow_.empty() ? UINT64_MAX : overflow_.top().at;
+        if (pendingNear_ > 0) {
+            for (uint64_t t = now_; t - now_ < kWheelCycles; ++t) {
+                if (!buckets_[t & kWheelMask].empty()) {
+                    next = std::min(next, t);
+                    break;
+                }
+            }
+        }
+        SARA_ASSERT(next != UINT64_MAX, "pending events but none found");
+        return next;
+    }
+
+    std::array<std::vector<Event>, kWheelCycles> buckets_;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>>
+        overflow_;
     uint64_t now_ = 0;
     uint64_t seq_ = 0;
+    uint64_t pending_ = 0;     ///< Events in wheel + overflow.
+    uint64_t pendingNear_ = 0; ///< Events in the wheel only.
+    uint64_t executed_ = 0;
+    bool budgetExceeded_ = false;
 };
 
 /**
  * A wait list: tasks park here until notified, then re-check their
  * condition (level-triggered use: `while (!cond) co_await cv.wait()`).
+ *
+ * Wakeup policies: notifyAll() broadcasts (every waiter resumes and
+ * re-checks), notifyOne() wakes only the front (FIFO) waiter and
+ * opens an insertion cursor so that same-cycle racers and the woken
+ * waiter's own re-park (`wait(atCursor = true)`) land in exactly the
+ * wait-list order a broadcast would have rebuilt; see notifyOne().
  */
 class CondVar
 {
   public:
-    explicit CondVar(Scheduler &sched) : sched_(&sched) {}
+    explicit CondVar(Scheduler &sched) { bind(sched); }
     CondVar() = default;
 
-    void bind(Scheduler &sched) { sched_ = &sched; }
+    void
+    bind(Scheduler &sched)
+    {
+        sched_ = &sched;
+        // Reserve once: park/notify cycles on the hot path then never
+        // reallocate (wait lists hold a handful of engines at most).
+        waiters_.reserve(4);
+    }
 
     auto
-    wait()
+    wait(bool atCursor = false)
     {
         struct Awaiter
         {
             CondVar &cv;
+            bool atCursor;
             bool await_ready() const noexcept { return false; }
             void
             await_suspend(std::coroutine_handle<> h)
             {
-                cv.waiters_.push_back(h);
+                cv.park(h, atCursor);
             }
             void await_resume() const noexcept {}
         };
-        return Awaiter{*this};
+        return Awaiter{*this, atCursor};
     }
 
     /** Wake all waiters (they resume at the current time). */
@@ -251,13 +354,59 @@ class CondVar
         for (auto h : waiters_)
             sched_->scheduleAfter(h, 0);
         waiters_.clear();
+        wakeInFlight_ = false;
     }
+
+    /**
+     * Wake the longest-parked waiter only.
+     *
+     * A broadcast empties the wait list, so until the woken waiters
+     * resume, any engine parking "fresh" lands *ahead* of every old
+     * waiter that will spuriously re-park behind it. To stay
+     * cycle-identical with that emergent order, notifyOne opens an
+     * insertion cursor at the list front: parks that execute while the
+     * wake is still in flight slot in before the surviving waiters,
+     * and the woken engine's own immediate re-park (wait with
+     * atCursor, see Engine::grantWake) lands right after them —
+     * exactly where its broadcast re-park would have gone. The woken
+     * waiter's resume closes the window via wakeLanded().
+     */
+    void
+    notifyOne()
+    {
+        if (waiters_.empty())
+            return;
+        sched_->scheduleAfter(waiters_.front(), 0);
+        waiters_.erase(waiters_.begin());
+        wakeInFlight_ = true;
+        cursor_ = 0;
+    }
+
+    /** The waiter woken by notifyOne resumed; stop front-slotting
+     *  fresh parks (call on every resume from wait()). */
+    void wakeLanded() { wakeInFlight_ = false; }
 
     bool hasWaiters() const { return !waiters_.empty(); }
 
   private:
+    void
+    park(std::coroutine_handle<> h, bool atCursor)
+    {
+        size_t pos = atCursor || wakeInFlight_
+                         ? std::min(cursor_, waiters_.size())
+                         : waiters_.size();
+        waiters_.insert(waiters_.begin() + static_cast<ptrdiff_t>(pos),
+                        h);
+        if (wakeInFlight_ && !atCursor)
+            ++cursor_; // Fresh racers stack up in arrival order.
+    }
+
     Scheduler *sched_ = nullptr;
     std::vector<std::coroutine_handle<>> waiters_;
+    /** True between notifyOne() and the woken waiter's resume. */
+    bool wakeInFlight_ = false;
+    /** Front-insertion point while a wake is in flight. */
+    size_t cursor_ = 0;
 };
 
 } // namespace sara::sim

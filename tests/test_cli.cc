@@ -90,11 +90,40 @@ TEST(Cli, UnknownWorkloadExitsNonzero)
 TEST(Cli, ExhaustedCycleBudgetExitsNonzero)
 {
     // A 10-cycle budget cannot finish any workload: the simulator's
-    // deadlock/livelock valve must surface as a clean nonzero exit,
-    // not an abort.
+    // livelock valve must surface as a clean internal-failure exit
+    // (4, like a detected deadlock), not an abort.
     auto r = runSarac("ms --par 8 --max-cycles 10");
-    EXPECT_EQ(r.exitCode, 3) << r.output;
+    EXPECT_EQ(r.exitCode, 4) << r.output;
     EXPECT_NE(r.output.find("exceeded"), std::string::npos) << r.output;
+}
+
+TEST(Cli, ExhaustedCycleBudgetClassifiedWithDiagnosis)
+{
+    // With --hang-diagnosis the overrun goes through the wait-for
+    // graph classifier: a structured failure report flagged as a
+    // budget overrun, classified livelock (no wait cycle closes over
+    // engines that are still making progress).
+    TempDir tmp("sara-cli-budget-test");
+    std::string json = (tmp.path / "failure.json").string();
+    auto r = runSarac("ms --par 8 --max-cycles 10 --hang-diagnosis "
+                      "--json " + json);
+    EXPECT_EQ(r.exitCode, 4) << r.output;
+    EXPECT_NE(r.output.find("exceeded"), std::string::npos) << r.output;
+    std::FILE *f = std::fopen(json.c_str(), "r");
+    ASSERT_NE(f, nullptr) << "no failure report written";
+    std::string doc;
+    std::array<char, 4096> buf;
+    size_t n;
+    while ((n = fread(buf.data(), 1, buf.size(), f)) > 0)
+        doc.append(buf.data(), n);
+    std::fclose(f);
+    EXPECT_NE(doc.find("\"sara-failure-report/v1\""), std::string::npos)
+        << doc;
+    EXPECT_NE(doc.find("\"budget_exceeded\":true"), std::string::npos)
+        << doc;
+    EXPECT_NE(doc.find("\"classification\":\"starvation-livelock\""),
+              std::string::npos)
+        << doc;
 }
 
 TEST(Cli, ArtifactEmitLoadRoundTrip)

@@ -14,6 +14,7 @@
 #include <sstream>
 
 #include "dram/dram.h"
+#include "fault/fault.h"
 #include "ir/builder.h"
 #include "runtime/run.h"
 #include "sim/fifo.h"
@@ -483,6 +484,98 @@ TEST(Stalls, FifoHighWaterWithinCapacity)
         anyNonZero = anyNonZero || fs.highWater > 0;
     }
     EXPECT_TRUE(anyNonZero);
+}
+
+// ---------------------------------------------------------------------
+// Cycle-identity goldens.
+//
+// The event core (scheduler, wakeup policy, FIFO internals) is free to
+// change for host throughput, but simulated results must stay
+// bit-identical. These counts were recorded from the pre-calendar-queue
+// binary-heap/notifyAll build; any drift here means the event core
+// changed *simulated* behaviour, not just its own speed.
+// ---------------------------------------------------------------------
+
+TEST(CycleIdentity, FixedLatencyGoldens)
+{
+    struct Row
+    {
+        const char *name;
+        uint64_t cycles;
+    };
+    static constexpr Row kGolden[] = {
+        {"mlp", 37297}, {"lstm", 10325}, {"snet", 10054},
+        {"pr", 2986},   {"bs", 365},     {"sort", 7467},
+        {"rf", 4477},   {"ms", 1302},    {"kmeans", 2431},
+        {"gda", 19044}, {"logreg", 9778}, {"sgd", 4313},
+    };
+    for (const auto &row : kGolden) {
+        workloads::WorkloadConfig cfg;
+        cfg.par = 8;
+        auto w = workloads::buildByName(row.name, cfg);
+        runtime::RunConfig rc;
+        auto r = runtime::runWorkload(w, rc);
+        EXPECT_EQ(r.sim.cycles, row.cycles) << row.name;
+    }
+}
+
+TEST(CycleIdentity, NocGoldens)
+{
+    struct Row
+    {
+        const char *name;
+        uint64_t cycles;
+    };
+    static constexpr Row kGolden[] = {
+        {"mlp", 74458}, {"lstm", 15581}, {"snet", 10056},
+        {"pr", 7138},   {"bs", 445},     {"sort", 6903},
+        {"rf", 19676},  {"ms", 1310},    {"kmeans", 3066},
+        {"gda", 19035}, {"logreg", 9798}, {"sgd", 4309},
+    };
+    for (const auto &row : kGolden) {
+        workloads::WorkloadConfig cfg;
+        cfg.par = 8;
+        auto w = workloads::buildByName(row.name, cfg);
+        runtime::RunConfig rc;
+        rc.sim.useNoc = true;
+        auto r = runtime::runWorkload(w, rc);
+        EXPECT_EQ(r.sim.cycles, row.cycles) << row.name;
+    }
+}
+
+/** Seeded fault-injection replays must also stay cycle-exact: the
+ *  injection hash keys off (site, cycle), so any event-order drift
+ *  shows up here even when the fault-free runs happen to agree. */
+TEST(CycleIdentity, InjectedReplayGoldens)
+{
+    struct Row
+    {
+        const char *workload;
+        const char *spec;
+        bool noc;
+        uint64_t seed;
+        uint64_t cycles;
+    };
+    static const Row kGolden[] = {
+        {"ms", "dram-tail@0.5:delay=200", false, 1, 1850},
+        {"ms", "dram-tail@0.5:delay=200", false, 2, 1902},
+        {"ms", "dram-tail@0.5:delay=200", false, 3, 1902},
+        {"ms", "fifo-leak@0.2", false, 1, 4111},
+        {"mlp", "noc-delay@0.2:delay=8", true, 1, 100317},
+    };
+    for (const auto &row : kGolden) {
+        workloads::WorkloadConfig cfg;
+        cfg.par = 8;
+        auto w = workloads::buildByName(row.workload, cfg);
+        fault::FaultInjector inj({fault::parseFaultSpec(row.spec)},
+                                 row.seed);
+        runtime::RunConfig rc;
+        rc.sim.useNoc = row.noc;
+        rc.sim.fault = &inj;
+        auto r = runtime::runWorkload(w, rc);
+        EXPECT_EQ(r.sim.cycles, row.cycles)
+            << row.workload << " " << row.spec << " seed " << row.seed;
+    }
 }
 
 /** A deadlocked run must still flush the trace before panicking —

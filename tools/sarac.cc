@@ -594,10 +594,10 @@ int
 main(int argc, char **argv)
 {
     // Report failures through exit codes, not aborts: a --check
-    // mismatch exits 1 (runSingle/runBatch), bad input or an exhausted
-    // --max-cycles budget exits 3, and internal errors — most
-    // prominently a detected simulator deadlock — exit 4 after their
-    // diagnosis has been printed.
+    // mismatch exits 1 (runSingle/runBatch), bad input exits 3, and
+    // internal failures — a detected simulator deadlock or an
+    // exhausted --max-cycles budget (classified livelock) — exit 4
+    // after their diagnosis has been printed.
     try {
         return realMain(argc, argv);
     } catch (const FatalError &) {
