@@ -4,9 +4,15 @@
  * the figure binaries (which reproduce *simulated* results), this one
  * measures how fast the simulator itself runs: wall-clock Mcycles/s
  * and events/s per workload, the spurious-wakeup ratio under the
- * targeted notifyOne policy vs the broadcast notifyAll baseline, and
- * peak RSS. Each workload compiles once and re-simulates `--reps`
+ * targeted notifyOne policy vs the broadcast notifyAll baseline, a
+ * host sampling-profiler breakdown of where the wall time goes
+ * (scheduler drain, CV waits, fire path, NoC arbitration, DRAM model),
+ * and peak RSS. Each workload compiles once and re-simulates `--reps`
  * times per configuration (best-of to shed scheduler noise).
+ *
+ * Memory units: peak RSS is reported as `peak_rss_kib` in the JSON
+ * (getrusage ru_maxrss, which is KiB on Linux) and as MiB (KiB/1024)
+ * in the table — binary units throughout, never decimal MB.
  *
  * Simulated cycle counts must be identical across wakeup policies —
  * the benchmark aborts if they are not, so a perf run doubles as a
@@ -25,6 +31,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "support/hostprof.h"
 
 namespace sara::bench {
 namespace {
@@ -72,12 +79,15 @@ parseArgs(int argc, char **argv)
     return opt;
 }
 
+/** Peak resident set, in KiB (ru_maxrss unit on Linux). This is the
+ *  one place the unit is decided; everything downstream (table MiB
+ *  column, `peak_rss_kib` JSON field, README) derives from it. */
 uint64_t
-peakRssKb()
+peakRssKib()
 {
     struct rusage ru{};
     getrusage(RUSAGE_SELF, &ru);
-    return static_cast<uint64_t>(ru.ru_maxrss); // KiB on Linux.
+    return static_cast<uint64_t>(ru.ru_maxrss);
 }
 
 /** One simulate-only measurement (compile reused via preCompiled). */
@@ -85,12 +95,15 @@ struct Measure
 {
     sim::SimResult sim;
     double bestMs = 0.0;
+    /** Host-profiler samples per phase (when profiled). */
+    uint64_t phase[telemetry::kNumHostPhases] = {};
+    uint64_t phaseTotal = 0;
 };
 
 Measure
 simulate(const workloads::Workload &w, runtime::RunConfig rc,
          const runtime::RunOutcome &compiled, bool noc, bool targeted,
-         int reps)
+         int reps, bool profile = false)
 {
     rc.check = false;
     rc.cachingCompiler = nullptr;
@@ -99,6 +112,9 @@ simulate(const workloads::Workload &w, runtime::RunConfig rc,
     rc.sim.targetedWakeups = targeted;
     rc.sim.traceFile.clear();
     Measure m;
+    auto &prof = telemetry::HostProfiler::global();
+    if (profile)
+        prof.clearSamples();
     for (int r = 0; r < reps; ++r) {
         auto t0 = std::chrono::steady_clock::now();
         auto out = runtime::runWorkload(w, rc);
@@ -108,6 +124,12 @@ simulate(const workloads::Workload &w, runtime::RunConfig rc,
         if (r == 0 || ms < m.bestMs)
             m.bestMs = ms;
         m.sim = std::move(out.sim);
+    }
+    if (profile) {
+        for (int p = 0; p < telemetry::kNumHostPhases; ++p)
+            m.phase[p] =
+                prof.samples(static_cast<telemetry::HostPhase>(p));
+        m.phaseTotal = prof.totalSamples();
     }
     return m;
 }
@@ -119,10 +141,16 @@ perfMain(int argc, char **argv)
     banner("event-core host throughput (wall-clock, not simulated)");
 
     Table table({"app", "mode", "cycles", "ms", "Mcyc/s", "Mev/s",
-                 "wakeups", "spurious%", "bcast spur%", "rss MB"});
+                 "wakeups", "spurious%", "bcast spur%", "rss MiB"});
     BenchJson out("perf");
 
+    // Sampling profiler: attributes the targeted runs' wall time to
+    // event-core phases (~200us per sample).
+    auto &prof = telemetry::HostProfiler::global();
+    prof.start();
+
     uint64_t totalWake[2] = {0, 0}, totalSpur[2] = {0, 0};
+    uint64_t phaseAgg[telemetry::kNumHostPhases] = {};
     for (const std::string &name : opt.workloads) {
         workloads::WorkloadConfig cfg;
         cfg.par = 8;
@@ -132,8 +160,8 @@ perfMain(int argc, char **argv)
         auto compiled = runtime::runWorkload(w, rc); // Compile once.
 
         for (bool noc : {false, true}) {
-            Measure tgt =
-                simulate(w, rc, compiled, noc, true, opt.reps);
+            Measure tgt = simulate(w, rc, compiled, noc, true,
+                                   opt.reps, /*profile=*/true);
             Measure bcast =
                 simulate(w, rc, compiled, noc, false, opt.reps);
             if (tgt.sim.cycles != bcast.sim.cycles)
@@ -153,7 +181,9 @@ perfMain(int argc, char **argv)
                                  static_cast<double>(s.wakeups)
                            : 0.0;
             };
-            uint64_t rss = peakRssKb();
+            uint64_t rss = peakRssKib();
+            for (int p = 0; p < telemetry::kNumHostPhases; ++p)
+                phaseAgg[p] += tgt.phase[p];
             totalWake[0] += tgt.sim.wakeups;
             totalSpur[0] += tgt.sim.spuriousWakeups;
             totalWake[1] += bcast.sim.wakeups;
@@ -182,8 +212,17 @@ perfMain(int argc, char **argv)
                 .kv("events_per_s", mevS * 1e6)
                 .kv("spurious_ratio", ratio(tgt.sim))
                 .kv("bcast_spurious_ratio", ratio(bcast.sim))
-                .kv("peak_rss_kb", rss)
-                .endRow();
+                .kv("peak_rss_kib", rss);
+            // Wall-time attribution for the targeted runs of this row.
+            out.writer().key("host_profile").beginObject();
+            out.writer().kv("samples", tgt.phaseTotal);
+            for (int p = 0; p < telemetry::kNumHostPhases; ++p)
+                out.writer().kv(
+                    telemetry::hostPhaseName(
+                        static_cast<telemetry::HostPhase>(p)),
+                    tgt.phase[p]);
+            out.writer().endObject();
+            out.endRow();
         }
     }
     std::printf("%s", table.str().c_str());
@@ -201,6 +240,22 @@ perfMain(int argc, char **argv)
                 pct(totalSpur[1], totalWake[1]),
                 static_cast<unsigned long long>(totalSpur[1]),
                 static_cast<unsigned long long>(totalWake[1]));
+
+    prof.stop();
+    uint64_t phaseSum = 0;
+    for (int p = 0; p < telemetry::kNumHostPhases; ++p)
+        phaseSum += phaseAgg[p];
+    if (phaseSum > 0) {
+        std::printf("host profile (%llu samples):",
+                    static_cast<unsigned long long>(phaseSum));
+        for (int p = 0; p < telemetry::kNumHostPhases; ++p)
+            std::printf(" %s %.1f%%",
+                        telemetry::hostPhaseName(
+                            static_cast<telemetry::HostPhase>(p)),
+                        100.0 * static_cast<double>(phaseAgg[p]) /
+                            static_cast<double>(phaseSum));
+        std::printf("\n");
+    }
 
     out.write(opt.out);
     return 0;

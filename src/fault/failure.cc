@@ -138,6 +138,14 @@ FailureReport::str() const
                 out += " " + name + "=" + std::to_string(cycles);
         }
     }
+    if (!timeline.empty()) {
+        out += "\nrecent events (flight recorder, last " +
+               std::to_string(timeline.size()) + " of " +
+               std::to_string(timelineDropped + timeline.size()) + "):";
+        for (const auto &te : timeline)
+            out += "\n  @" + std::to_string(te.cycle) + " " + te.kind +
+                   " " + te.detail;
+    }
     return out;
 }
 
@@ -194,6 +202,16 @@ FailureReport::json() const
         j.endObject();
     }
     j.endArray();
+    j.key("timeline").beginArray();
+    for (const auto &te : timeline) {
+        j.beginObject();
+        j.kv("cycle", te.cycle);
+        j.kv("kind", te.kind);
+        j.kv("detail", te.detail);
+        j.endObject();
+    }
+    j.endArray();
+    j.kv("timeline_dropped", timelineDropped);
     j.endObject();
     return j.str();
 }

@@ -69,6 +69,15 @@ struct WaitNode
     std::vector<std::pair<std::string, uint64_t>> stalls;
 };
 
+/** One flight-recorder event, formatted for the failure report: what
+ *  happened (fired/parked/woke/link-grant/deliver), when, to whom. */
+struct TimelineEvent
+{
+    uint64_t cycle = 0;
+    std::string kind;
+    std::string detail;
+};
+
 /** Structured description of a hung simulation. */
 struct FailureReport
 {
@@ -90,6 +99,11 @@ struct FailureReport
     bool budgetExceeded = false;
     /** The exhausted cycle budget (valid when `budgetExceeded`). */
     uint64_t budget = 0;
+    /** The last events leading up to the hang, oldest first (from the
+     *  simulator's flight-recorder ring; empty when disabled). */
+    std::vector<TimelineEvent> timeline;
+    /** Events that fell off the ring before the dump. */
+    uint64_t timelineDropped = 0;
 
     /** Human-readable diagnosis (the panic message). */
     std::string str() const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "support/hostprof.h"
 #include "support/logging.h"
 
 namespace sara::noc {
@@ -43,6 +44,7 @@ NocModel::registerStream(const dfg::Stream &s)
             links_.emplace_back();
             links_.back().model = this;
             links_.back().where = rl;
+            links_.back().idx = it->second;
             char buf[32];
             std::snprintf(buf, sizeof buf, "(%d,%d)%s", rl.x, rl.y,
                           dfg::linkDirName(rl.dir));
@@ -182,9 +184,19 @@ NocModel::schedulePoll(Link &link, uint64_t at)
         &link, at);
 }
 
+const std::string &
+NocModel::linkSite(int idx) const
+{
+    static const std::string kUnknown = "?";
+    if (idx < 0 || static_cast<size_t>(idx) >= links_.size())
+        return kUnknown;
+    return links_[idx].site;
+}
+
 void
 NocModel::poll(Link &link)
 {
+    telemetry::ScopedPhase phase(telemetry::HostPhase::NocArb);
     link.pollScheduled = false;
     uint64_t now = sched_->now();
     if (now < link.freeAt) {
@@ -233,6 +245,9 @@ NocModel::grant(Link &link, size_t qPos)
     link.rrCursor = f->stream;
     ++link.traversals;
     ++totalHops_;
+    if (flight_)
+        flight_->record(telemetry::FlightKind::LinkGrant, now, f->stream,
+                        link.idx);
     link.waitCycles += now - f->arrivedAt;
     totalQueueCycles_ += now - f->arrivedAt;
 

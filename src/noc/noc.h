@@ -38,6 +38,7 @@
 #include "dfg/vudfg.h"
 #include "fault/fault.h"
 #include "sim/task.h"
+#include "support/flight.h"
 #include "support/telemetry.h"
 
 namespace sara::noc {
@@ -140,6 +141,15 @@ class NocModel
      *  switchable for the perf harness's wakeup A/B accounting. */
     void setTargetedWakeups(bool on) { targetedWakeups_ = on; }
 
+    /** Attach a flight recorder (may be null): every link grant is
+     *  recorded as a LinkGrant event for failure timelines. Not owned
+     *  — must outlive the model. */
+    void setFlightRecorder(telemetry::FlightRecorder *f) { flight_ = f; }
+
+    /** Site name ("(x,y)D") of the link with the given index, as
+     *  recorded in LinkGrant flight events; "?" when out of range. */
+    const std::string &linkSite(int idx) const;
+
     /** Site name of the stream's first-hop link, e.g. "(1,2)E"; empty
      *  for streams that don't ride the arbitrated network. Producers
      *  blocked on admission report this as the wanted resource, which
@@ -170,6 +180,7 @@ class NocModel
     {
         NocModel *model = nullptr;
         dfg::RouteLink where;
+        int idx = -1;     ///< Index into links_ (flight-event key).
         std::string site; ///< "(x,y)D" — fault-injection site name.
         int streams = 0;          ///< Static load (routed streams).
         std::deque<Flit *> q;     ///< Waiting flits, arrival order.
@@ -197,6 +208,7 @@ class NocModel
     sim::Scheduler *sched_;
     NocSpec spec_;
     const fault::FaultInjector *inj_ = nullptr;
+    telemetry::FlightRecorder *flight_ = nullptr;
     bool targetedWakeups_ = true;
 
     struct StreamState

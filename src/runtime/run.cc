@@ -42,6 +42,9 @@ runWorkload(const workloads::Workload &w, const RunConfig &config)
     simOpt.noc.minLatency = net.minLatency;
     simOpt.noc.routeTokens =
         config.compiler.control == compiler::ControlScheme::Cmmc;
+    // Fabric dimensions for the per-unit counter file / heatmap.
+    simOpt.fabricRows = config.compiler.spec.rows;
+    simOpt.fabricCols = config.compiler.spec.cols;
 
     sim::Simulator simulator(out.compiled.program,
                              out.compiled.lowering.graph, config.dram,
@@ -162,6 +165,23 @@ jsonReport(const workloads::Workload &w, const RunConfig &config,
     j.kv("events", r.sim.hostEvents);
     j.kv("wakeups", r.sim.wakeups);
     j.kv("spurious_wakeups", r.sim.spuriousWakeups);
+    // Per-CV-class wakeup policy accounting: which wait sites pay the
+    // thundering-herd cost, and their spurious ratios.
+    j.key("wakeup_classes").beginObject();
+    for (int c = 0; c < sim::kNumWakeClasses; ++c) {
+        uint64_t total = r.sim.wakeupsByClass[c];
+        uint64_t spurious = r.sim.spuriousByClass[c];
+        j.key(sim::wakeClassName(static_cast<sim::WakeClass>(c)))
+            .beginObject();
+        j.kv("wakeups", total);
+        j.kv("spurious", spurious);
+        j.kv("spurious_ratio",
+             total ? static_cast<double>(spurious) /
+                         static_cast<double>(total)
+                   : 0.0);
+        j.endObject();
+    }
+    j.endObject();
     j.endObject();
     j.key("stalls").beginObject();
     for (int c = 0; c < sim::kNumStallCauses; ++c)
@@ -244,6 +264,10 @@ jsonReport(const workloads::Workload &w, const RunConfig &config,
         j.endObject();
     }
     j.endArray();
+    // Full per-unit performance-counter file (engines + router cells);
+    // same data `sarac --counters` renders as a table + heatmap.
+    j.key("counters");
+    r.sim.counters.writeJson(j);
     j.endObject(); // sim
 
     j.key("check").beginObject();

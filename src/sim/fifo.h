@@ -19,6 +19,7 @@
 #include "fault/fault.h"
 #include "noc/noc.h"
 #include "sim/task.h"
+#include "support/flight.h"
 #include "support/logging.h"
 
 namespace sara::sim {
@@ -82,17 +83,20 @@ class FifoState
      *  `latency`-cycle delay; the credit window is unchanged. An
      *  injector (may be null) enables the fifo-leak fault model; a
      *  pool (may be null, shared across streams) recycles popped
-     *  Element buffers back to the fire path. */
+     *  Element buffers back to the fire path. A flight recorder (may
+     *  be null) logs each delivery for failure timelines. */
     void
     init(Scheduler &sched, const dfg::Stream &spec,
          noc::NocModel *noc = nullptr,
          const fault::FaultInjector *inj = nullptr,
-         ElementPool *pool = nullptr)
+         ElementPool *pool = nullptr,
+         telemetry::FlightRecorder *flight = nullptr)
     {
         sched_ = &sched;
         spec_ = &spec;
         inj_ = inj;
         pool_ = pool;
+        flight_ = flight;
         noc_ = noc && noc->participates(spec.id) ? noc : nullptr;
         isToken_ = spec.kind == dfg::StreamKind::Token;
         latency_ = static_cast<uint64_t>(spec.latency);
@@ -228,6 +232,9 @@ class FifoState
         SARA_ASSERT(!inflight_.empty(), "delivery with nothing in flight");
         stored_.push_back(std::move(inflight_.front()));
         inflight_.pop_front();
+        if (flight_)
+            flight_->record(telemetry::FlightKind::Deliver,
+                            sched_->now(), spec_->id.v);
         // Single consumer engine per stream: see pop().
         if (dataCv.hasWaiters())
             dataCv.notifyOne();
@@ -245,6 +252,7 @@ class FifoState
     const fault::FaultInjector *inj_ = nullptr;
     noc::NocModel *noc_ = nullptr;
     ElementPool *pool_ = nullptr;
+    telemetry::FlightRecorder *flight_ = nullptr;
     std::deque<Element> stored_;
     std::deque<Element> inflight_;
     uint64_t capacity_ = 0;

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "ir/interp.h"
+#include "support/hostprof.h"
 
 namespace sara::sim {
 
@@ -67,6 +68,18 @@ stallCauseName(StallCause cause)
       case StallCause::BankConflict: return "bank-conflict";
       case StallCause::BusContention: return "bus-contention";
       case StallCause::Network: return "network";
+    }
+    return "?";
+}
+
+const char *
+wakeClassName(WakeClass cls)
+{
+    switch (cls) {
+      case WakeClass::FifoData: return "fifo-data";
+      case WakeClass::FifoSpace: return "fifo-space";
+      case WakeClass::NocInject: return "noc-inject";
+      case WakeClass::Dram: return "dram";
     }
     return "?";
 }
@@ -163,6 +176,9 @@ struct Simulator::Engine
         waitStream = stream;
         blockReason = why;
         blockDetail = detail;
+        if (sim)
+            sim->flight_.record(telemetry::FlightKind::Park,
+                                sim->sched_.now(), u->id.v, stream);
     }
 
     void
@@ -187,11 +203,13 @@ void
 Simulator::buildState()
 {
     g_.validate();
+    flight_.reset(opt_.flightDepth);
 
     if (opt_.useNoc) {
         noc_ = std::make_unique<noc::NocModel>(sched_, opt_.noc);
         noc_->setFaultInjector(opt_.fault);
         noc_->setTargetedWakeups(opt_.targetedWakeups);
+        noc_->setFlightRecorder(flight_.enabled() ? &flight_ : nullptr);
         for (size_t i = 0; i < g_.numStreams(); ++i)
             noc_->registerStream(g_.stream(dfg::StreamId(i)));
     }
@@ -199,7 +217,8 @@ Simulator::buildState()
     fifos_.resize(g_.numStreams());
     for (size_t i = 0; i < g_.numStreams(); ++i)
         fifos_[i].init(sched_, g_.stream(dfg::StreamId(i)), noc_.get(),
-                       opt_.fault, &pool_);
+                       opt_.fault, &pool_,
+                       flight_.enabled() ? &flight_ : nullptr);
 
     // Memory groups.
     for (const auto &u : g_.units()) {
@@ -324,9 +343,7 @@ Simulator::awaitNonEmpty(Engine &e, FifoState &f, StallCause cause,
         e.grantWake = nullptr;
         co_await f.dataCv.wait();
         f.dataCv.wakeLanded();
-        ++wakeups_;
-        if (f.empty())
-            ++spuriousWakeups_;
+        noteWake(e, WakeClass::FifoData, f.empty());
         e.stats.stallCycles[static_cast<int>(cause)] +=
             sched_.now() - blockedAt;
     }
@@ -350,9 +367,7 @@ Simulator::awaitSpace(Engine &e, FifoState &f, StallCause cause,
             e.grantWake = nullptr;
             co_await f.spaceCv.wait();
             f.spaceCv.wakeLanded();
-            ++wakeups_;
-            if (!f.hasSpace())
-                ++spuriousWakeups_;
+            noteWake(e, WakeClass::FifoSpace, !f.hasSpace());
             e.stats.stallCycles[static_cast<int>(cause)] +=
                 sched_.now() - blockedAt;
             continue;
@@ -372,9 +387,8 @@ Simulator::awaitSpace(Engine &e, FifoState &f, StallCause cause,
             co_await icv.wait(atCursor);
             icv.wakeLanded();
             e.grantWake = &icv;
-            ++wakeups_;
-            if (!f.hasSpace() || !f.canInject())
-                ++spuriousWakeups_;
+            noteWake(e, WakeClass::NocInject,
+                     !f.hasSpace() || !f.canInject());
             e.stats.stallCycles[static_cast<int>(
                 StallCause::Network)] += sched_.now() - blockedAt;
             continue;
@@ -529,6 +543,8 @@ Simulator::fireOnce(Engine &e)
     e.stats.busyCycles += 1;
     e.stats.stallCycles[static_cast<int>(StallCause::BankConflict)] +=
         extraCycles;
+    flight_.record(telemetry::FlightKind::Fire, sched_.now(), e.u->id.v,
+                   static_cast<int32_t>(1 + extraCycles));
     if (!opt_.traceFile.empty())
         recordFiring(e, sched_.now(), 1 + extraCycles, false);
     e.flops += static_cast<uint64_t>(e.arithLops) * e.activeLanes;
@@ -560,6 +576,7 @@ Simulator::skipRound(Engine &e, int k)
     }
     ++e.stats.skips;
     e.stats.busyCycles += 1;
+    flight_.record(telemetry::FlightKind::Skip, sched_.now(), e.u->id.v);
     if (!opt_.traceFile.empty())
         recordFiring(e, sched_.now(), 1, true);
     e.grantWake = nullptr;
@@ -582,9 +599,7 @@ Simulator::wrapActions(Engine &e, int k)
             e.grantWake = nullptr;
             co_await e.agCv.wait();
             e.agCv.wakeLanded();
-            ++wakeups_;
-            if (e.outstanding > 0)
-                ++spuriousWakeups_;
+            noteWake(e, WakeClass::Dram, e.outstanding > 0);
             e.stats.stallCycles[static_cast<int>(
                 StallCause::DramLatency)] += sched_.now() - blockedAt;
         }
@@ -628,6 +643,7 @@ Simulator::wrapActions(Engine &e, int k)
 void
 Simulator::evalLops(Engine &e)
 {
+    telemetry::ScopedPhase phase(telemetry::HostPhase::FirePath);
     const auto &u = *e.u;
     const int vec = e.vec;
     const int lanes = e.activeLanes;
@@ -725,6 +741,8 @@ Simulator::applyMemPort(Engine &e, uint64_t &extraCycles)
     SARA_ASSERT(it != groups_.end(), u.name, ": no memory group");
     MemGroup &grp = it->second;
     const int lanes = e.activeLanes;
+    // Every port firing moves one element per active lane.
+    e.stats.bytesMoved += static_cast<uint64_t>(lanes) * 4;
 
     // Address lanes come from the local datapath or an input stream.
     int64_t addrs[64];
@@ -832,9 +850,8 @@ Simulator::applyAg(Engine &e)
         e.grantWake = nullptr;
         co_await e.agCv.wait();
         e.agCv.wakeLanded();
-        ++wakeups_;
-        if (e.outstanding >= opt_.agOutstanding)
-            ++spuriousWakeups_;
+        noteWake(e, WakeClass::Dram,
+                 e.outstanding >= opt_.agOutstanding);
         e.stats.stallCycles[static_cast<int>(StallCause::DramLatency)] +=
             sched_.now() - blockedAt;
     }
@@ -866,6 +883,7 @@ Simulator::applyAg(Engine &e)
             auto res = dram_.access(
                 tensorBase + static_cast<uint64_t>(addrs[runStart]) * 4,
                 bytes, sched_.now());
+            e.stats.bytesMoved += bytes;
             maxComplete = std::max(maxComplete, res.completeAt);
             runStart = l;
         }
@@ -973,7 +991,14 @@ Simulator::run()
         sched_.scheduleAt(e->task.handle(), 0);
     }
 
-    uint64_t end = sched_.run(opt_.maxCycles);
+    uint64_t end;
+    {
+        // The drain loop is attributed to the Scheduler bucket; inner
+        // markers (fire path, NoC arbitration, DRAM model, CV waits)
+        // re-attribute their own synchronous slices.
+        telemetry::ScopedPhase phase(telemetry::HostPhase::Scheduler);
+        end = sched_.run(opt_.maxCycles);
+    }
 
     if (sched_.budgetExceeded())
         reportBudgetExceeded();
@@ -1027,8 +1052,11 @@ Simulator::run()
     result.hostEvents = sched_.eventsExecuted();
     result.wakeups = wakeups_;
     result.spuriousWakeups = spuriousWakeups_;
+    result.wakeupsByClass = wakeupsByClass_;
+    result.spuriousByClass = spuriousByClass_;
     if (noc_)
         result.noc = noc_->stats();
+    buildCounters(result);
     if (!opt_.traceFile.empty())
         writeTrace();
     result.dramBytes = dram_.bytesTransferred();
@@ -1071,11 +1099,150 @@ void
 Simulator::recordFiring(const Engine &e, uint64_t start, uint64_t dur,
                         bool skip)
 {
+    // Per-region activity: cumulative firings per 4x4 fabric region
+    // (fringe AGs clamp into the border regions), differentiated into
+    // firings/cycle counter tracks at trace-write time.
+    int cols = std::max(1, opt_.fabricCols);
+    int rows = std::max(1, opt_.fabricRows);
+    int rx = std::clamp(e.u->placeX, 0, cols - 1) * 4 / cols;
+    int ry = std::clamp(e.u->placeY, 0, rows - 1) * 4 / rows;
+    size_t region = static_cast<size_t>(ry * 4 + rx);
+    ++regionFirings_[region];
+    regionSeries_[region].sample(
+        start, static_cast<double>(regionFirings_[region]));
+
     // Cap the buffer so accidental tracing of a huge run stays sane.
     if (trace_.size() >= (1u << 22))
         return;
     trace_.push_back({e.u->id.v, start, static_cast<uint32_t>(dur),
                       skip});
+}
+
+void
+Simulator::noteWake(Engine &e, WakeClass cls, bool spurious)
+{
+    ++wakeups_;
+    ++wakeupsByClass_[static_cast<int>(cls)];
+    if (spurious) {
+        ++spuriousWakeups_;
+        ++spuriousByClass_[static_cast<int>(cls)];
+    }
+    flight_.record(telemetry::FlightKind::Wake, sched_.now(), e.u->id.v,
+                   spurious ? 1 : 0);
+}
+
+void
+Simulator::buildCounters(SimResult &result) const
+{
+    telemetry::CounterFile &cf = result.counters;
+
+    for (const auto &e : engines_) {
+        if (!e)
+            continue;
+        const auto &u = *e->u;
+        telemetry::CounterBlock &b = cf.block(u.name);
+        b.kind = u.kind == VuKind::Compute   ? "pcu"
+                 : u.kind == VuKind::MemPort ? "pmu"
+                                             : "ag";
+        b.x = u.placeX;
+        b.y = u.placeY;
+        b.set("firings", e->stats.firings);
+        b.set("skips", e->stats.skips);
+        b.set("busy", e->stats.busyCycles);
+        for (int c = 0; c < kNumStallCauses; ++c)
+            b.set(std::string("stall.") +
+                      stallCauseName(static_cast<StallCause>(c)),
+                  e->stats.stallCycles[c]);
+        b.set("idle", result.cycles > e->stats.doneAt
+                          ? result.cycles - e->stats.doneAt
+                          : 0);
+        b.set("bytes", e->stats.bytesMoved);
+        b.set("occ_peak", 0);
+    }
+
+    // FIFO-occupancy high-water per unit: the max over every stream
+    // incident to the unit (storage VMUs have no engine and no block).
+    for (const auto &f : fifos_) {
+        const auto &s = f.spec();
+        for (dfg::VuId vid : {s.src, s.dst}) {
+            if (!vid.valid())
+                continue;
+            telemetry::CounterBlock *b =
+                cf.findMutable(g_.unit(vid).name);
+            if (b && f.highWater() > b->get("occ_peak"))
+                b->set("occ_peak", f.highWater());
+        }
+    }
+
+    // Router cells: aggregate the per-link NoC telemetry per (x, y).
+    // linkUse is sorted by (x, y, dir), so blocks come out in
+    // deterministic cell order.
+    if (result.noc.enabled) {
+        for (const auto &lu : result.noc.linkUse) {
+            char id[32];
+            std::snprintf(id, sizeof id, "router(%d,%d)", lu.link.x,
+                          lu.link.y);
+            telemetry::CounterBlock &b = cf.block(id);
+            b.kind = "router";
+            b.x = lu.link.x;
+            b.y = lu.link.y;
+            b.add("links", 1);
+            b.add("streams", static_cast<uint64_t>(lu.streams));
+            b.add("traversals", lu.traversals);
+            b.add("wait_cycles", lu.waitCycles);
+            if (lu.queueHighWater > b.get("queue_peak"))
+                b.set("queue_peak", lu.queueHighWater);
+        }
+    }
+}
+
+void
+Simulator::buildTimeline(fault::FailureReport &fr) const
+{
+    auto unitName = [&](int32_t id) -> std::string {
+        if (id < 0 || static_cast<size_t>(id) >= g_.numUnits())
+            return "?";
+        return g_.unit(dfg::VuId(id)).name;
+    };
+    auto streamName = [&](int32_t id) -> std::string {
+        if (id < 0 || static_cast<size_t>(id) >= g_.numStreams())
+            return "?";
+        return g_.stream(dfg::StreamId(id)).name;
+    };
+
+    for (const auto &ev : flight_.events()) {
+        fault::TimelineEvent te;
+        te.cycle = ev.at;
+        te.kind = telemetry::flightKindName(ev.kind);
+        switch (ev.kind) {
+          case telemetry::FlightKind::Fire:
+            te.detail = unitName(ev.a) + " (" + std::to_string(ev.b) +
+                        " cyc)";
+            break;
+          case telemetry::FlightKind::Skip:
+            te.detail = unitName(ev.a);
+            break;
+          case telemetry::FlightKind::Park:
+            te.detail = unitName(ev.a) +
+                        (ev.b >= 0 ? " on " + streamName(ev.b)
+                                   : " on dram");
+            break;
+          case telemetry::FlightKind::Wake:
+            te.detail = unitName(ev.a) + (ev.b ? " (spurious)" : "");
+            break;
+          case telemetry::FlightKind::LinkGrant:
+            te.detail = streamName(ev.a) + " @ " +
+                        (noc_ ? noc_->linkSite(ev.b) : "?");
+            break;
+          case telemetry::FlightKind::Deliver:
+            te.detail = streamName(ev.a);
+            break;
+        }
+        fr.timeline.push_back(std::move(te));
+    }
+    fr.timelineDropped = flight_.totalRecorded() > flight_.size()
+                             ? flight_.totalRecorded() - flight_.size()
+                             : 0;
 }
 
 void
@@ -1123,6 +1290,24 @@ Simulator::writeTrace(const fault::FailureReport *failure) const
                       (v - prevBytes) / static_cast<double>(t - prevT));
         prevT = t;
         prevBytes = v;
+    }
+    // Per-region fabric activity: cumulative firings per 4x4 region,
+    // differentiated into firings/cycle tracks.
+    for (int i = 0; i < 16; ++i) {
+        if (regionSeries_[i].empty())
+            continue;
+        char name[32];
+        std::snprintf(name, sizeof name, "region(%d,%d)", i % 4, i / 4);
+        uint64_t rPrevT = 0;
+        double rPrev = 0.0;
+        for (const auto &[t, v] : regionSeries_[i].samples()) {
+            if (t > rPrevT)
+                w.counter(kSimPid, name, static_cast<double>(t),
+                          "firings/cycle",
+                          (v - rPrev) / static_cast<double>(t - rPrevT));
+            rPrevT = t;
+            rPrev = v;
+        }
     }
     if (noc_) {
         // Link-load tracks: flits inside the network and links with a
@@ -1265,6 +1450,7 @@ Simulator::reportHang()
 
     fault::FailureReport fr =
         fault::classify(buildWaitGraph(), opt_.fault, sched_.now());
+    buildTimeline(fr);
     if (!opt_.traceFile.empty())
         writeTrace(&fr);
     // Same logging contract as panic(); the throw carries structure.
@@ -1302,6 +1488,7 @@ Simulator::reportBudgetExceeded()
         fr.cls = fault::HangClass::Starvation;
         fr.cycle.clear();
     }
+    buildTimeline(fr);
     if (!opt_.traceFile.empty())
         writeTrace(&fr);
     detail::logMessage(LogLevel::Error, "panic", fr.str());

@@ -46,6 +46,8 @@
 #include "noc/noc.h"
 #include "sim/fifo.h"
 #include "sim/task.h"
+#include "support/counters.h"
+#include "support/flight.h"
 #include "support/telemetry.h"
 
 namespace sara::sim {
@@ -92,6 +94,15 @@ struct SimOptions
      *  the CycleIdentity goldens); the broadcast baseline is kept so
      *  the perf harness can A/B the spurious-wakeup ratio. */
     bool targetedWakeups = true;
+    /** Core-grid dimensions for the per-unit counter file and the
+     *  `--counters` heatmap (filled from arch::PlasticineSpec by the
+     *  runtime layer; fringe AGs sit at x = -1 / x = fabricCols). */
+    int fabricRows = 20;
+    int fabricCols = 20;
+    /** Flight-recorder depth: how many recent scheduler/wakeup/link
+     *  events the ring buffer retains for the failure-report timeline.
+     *  0 disables recording. */
+    size_t flightDepth = 256;
 };
 
 /**
@@ -112,12 +123,31 @@ inline constexpr int kNumStallCauses = 7;
 
 const char *stallCauseName(StallCause cause);
 
+/**
+ * Condition-variable classes for wakeup accounting: every coroutine
+ * wakeup (and its spurious subset) is attributed to the kind of CV it
+ * landed on, so the run report can show *which* wait sites pay the
+ * thundering-herd cost — the per-class breakdown behind the aggregate
+ * SimResult::wakeups / spuriousWakeups.
+ */
+enum class WakeClass : uint8_t {
+    FifoData,  ///< Consumer-side data/token arrival (FifoState::dataCv).
+    FifoSpace, ///< Producer-side credit return (FifoState::spaceCv).
+    NocInject, ///< NoC first-hop link-slot grant (injectCv).
+    Dram,      ///< AG outstanding-window / write-drain completion.
+};
+inline constexpr int kNumWakeClasses = 4;
+
+const char *wakeClassName(WakeClass cls);
+
 /** Per-unit activity counters. */
 struct UnitStats
 {
     uint64_t firings = 0;
     uint64_t skips = 0;
     uint64_t busyCycles = 0;
+    /** DRAM/PMU bytes this unit moved (AG bursts, MemPort lanes). */
+    uint64_t bytesMoved = 0;
     uint64_t firstFire = 0; ///< Cycle of the first firing.
     uint64_t lastFire = 0;  ///< Cycle of the last firing.
     uint64_t doneAt = 0;    ///< Cycle the engine finished all rounds.
@@ -180,6 +210,14 @@ struct SimResult
     uint64_t hostEvents = 0;
     uint64_t wakeups = 0;
     uint64_t spuriousWakeups = 0;
+    /** Wakeups (and the spurious subset) broken down by CV class —
+     *  sums over the classes equal the aggregates above. */
+    std::array<uint64_t, kNumWakeClasses> wakeupsByClass{};
+    std::array<uint64_t, kNumWakeClasses> spuriousByClass{};
+    /** Per-unit performance-counter dump (engines + router cells).
+     *  Per-cause stall sums over all blocks reconcile exactly with
+     *  `stallTotals` (asserted in tests/test_counters.cc). */
+    telemetry::CounterFile counters;
 };
 
 /** Executes one compiled VUDFG against a DRAM model. */
@@ -227,6 +265,14 @@ class Simulator
     [[noreturn]] void reportBudgetExceeded();
     std::vector<fault::WaitNode> buildWaitGraph() const;
     void collectTensors(SimResult &result);
+    /** Per-wakeup bookkeeping: aggregate + per-class tallies and a
+     *  flight-recorder Wake event. */
+    void noteWake(Engine &e, WakeClass cls, bool spurious);
+    /** Assemble the per-unit CounterFile (engine blocks from
+     *  UnitStats, router blocks from the NoC link stats). */
+    void buildCounters(SimResult &result) const;
+    /** Format the flight-recorder ring into `fr.timeline`. */
+    void buildTimeline(fault::FailureReport &fr) const;
     void recordFiring(const Engine &e, uint64_t start, uint64_t dur,
                       bool skip);
     void sampleDram();
@@ -244,6 +290,15 @@ class Simulator
     /** Wakeup accounting (see SimResult::wakeups). */
     uint64_t wakeups_ = 0;
     uint64_t spuriousWakeups_ = 0;
+    std::array<uint64_t, kNumWakeClasses> wakeupsByClass_{};
+    std::array<uint64_t, kNumWakeClasses> spuriousByClass_{};
+    /** Last-N scheduler/wakeup/link events for failure timelines. */
+    telemetry::FlightRecorder flight_{0};
+    /** Cumulative firings per fabric region (4x4 region grid), sampled
+     *  on every firing for the Chrome-trace counter tracks. Only
+     *  populated when tracing (same gate as trace_). */
+    std::array<telemetry::TimeSeries, 16> regionSeries_;
+    std::array<uint64_t, 16> regionFirings_{};
     /** Recycled Element lane buffers for the fire path. */
     ElementPool pool_;
     telemetry::TimeSeries dramOutstandingSeries_{4096, 8};

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "support/hostprof.h"
 #include "support/logging.h"
 
 namespace sara::sim {
@@ -351,6 +352,7 @@ class CondVar
     void
     notifyAll()
     {
+        telemetry::ScopedPhase phase(telemetry::HostPhase::CvWait);
         for (auto h : waiters_)
             sched_->scheduleAfter(h, 0);
         waiters_.clear();
@@ -376,6 +378,7 @@ class CondVar
     {
         if (waiters_.empty())
             return;
+        telemetry::ScopedPhase phase(telemetry::HostPhase::CvWait);
         sched_->scheduleAfter(waiters_.front(), 0);
         waiters_.erase(waiters_.begin());
         wakeInFlight_ = true;
@@ -392,6 +395,7 @@ class CondVar
     void
     park(std::coroutine_handle<> h, bool atCursor)
     {
+        telemetry::ScopedPhase phase(telemetry::HostPhase::CvWait);
         size_t pos = atCursor || wakeInFlight_
                          ? std::min(cursor_, waiters_.size())
                          : waiters_.size();

@@ -210,7 +210,8 @@ class TimeSeries
     explicit TimeSeries(size_t maxSamples = 4096,
                         uint64_t minInterval = 1)
         : maxSamples_(maxSamples < 16 ? 16 : maxSamples),
-          interval_(minInterval < 1 ? 1 : minInterval)
+          minInterval_(minInterval < 1 ? 1 : minInterval),
+          interval_(minInterval_)
     {
     }
 
@@ -224,11 +225,20 @@ class TimeSeries
         return samples_;
     }
 
-    void clear() { samples_.clear(); }
+    /** Drop all samples and start a fresh epoch: the decimation
+     *  stride rewinds to its construction-time minimum, so a reused
+     *  series resolves short runs as finely as a fresh one. */
+    void
+    clear()
+    {
+        samples_.clear();
+        interval_ = minInterval_;
+    }
 
   private:
     std::vector<std::pair<uint64_t, double>> samples_;
     size_t maxSamples_;
+    uint64_t minInterval_;
     uint64_t interval_;
 };
 

@@ -73,6 +73,19 @@ TEST(Cli, NocRunVerifiesAndPrintsLinkStats)
         << r.output;
 }
 
+TEST(Cli, CountersFlagRendersTableAndHeatmap)
+{
+    auto r = runSarac("ms --par 8 --counters");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("-- per-unit performance counters --"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("fabric utilization"), std::string::npos)
+        << r.output;
+    // Engine rows carry a kind and a placement.
+    EXPECT_NE(r.output.find("pcu"), std::string::npos) << r.output;
+}
+
 TEST(Cli, UsageErrorsExitTwo)
 {
     EXPECT_EQ(runSarac("--frobnicate").exitCode, 2);
@@ -228,6 +241,9 @@ TEST(Cli, InjectedHangIsClassifiedAndExitsFour)
     EXPECT_NE(doc.find("\"sara-failure-report/v1\""), std::string::npos);
     EXPECT_NE(doc.find("\"injected-fault-induced\""), std::string::npos);
     EXPECT_NE(doc.find("\"culprit_site\""), std::string::npos);
+    // The flight-recorder timeline rode along with the diagnosis.
+    EXPECT_NE(doc.find("\"timeline\""), std::string::npos);
+    EXPECT_NE(doc.find("\"timeline_dropped\""), std::string::npos);
 }
 
 TEST(Cli, FlatHangWithoutDiagnosisStillExitsFour)

@@ -152,6 +152,61 @@ TEST(TimeSeriesTest, StaysBoundedAndKeepsLastSample)
         EXPECT_LT(ts.samples()[i - 1].first, ts.samples()[i].first);
 }
 
+TEST(TimeSeriesTest, CapacityWrapHalvesSamplesAndDoublesStride)
+{
+    TimeSeries ts(16, 1);
+    for (uint64_t t = 0; t < 16; ++t)
+        ts.sample(t, static_cast<double>(t));
+    // The insert that reaches capacity compacts to every-other sample
+    // (always keeping the newest) and doubles the spacing threshold.
+    EXPECT_EQ(ts.size(), 8u);
+    EXPECT_EQ(ts.interval(), 2u);
+    EXPECT_EQ(ts.samples().back().first, 15u);
+    EXPECT_EQ(ts.samples().back().second, 15.0);
+    for (size_t i = 1; i < ts.size(); ++i)
+        EXPECT_LT(ts.samples()[i - 1].first, ts.samples()[i].first);
+}
+
+TEST(TimeSeriesTest, StrideGrowsByDoublingFromMinInterval)
+{
+    TimeSeries ts(16, 8);
+    EXPECT_EQ(ts.interval(), 8u);
+    for (uint64_t t = 0; t < 100000; t += 8)
+        ts.sample(t, 1.0);
+    // Decimation only ever doubles: the stride stays a power-of-two
+    // multiple of the construction-time minimum.
+    EXPECT_GT(ts.interval(), 8u);
+    EXPECT_EQ(ts.interval() % 8u, 0u);
+    uint64_t ratio = ts.interval() / 8u;
+    EXPECT_EQ(ratio & (ratio - 1), 0u) << ts.interval();
+}
+
+TEST(TimeSeriesTest, ClearResetsDecimationEpoch)
+{
+    TimeSeries ts(16, 4);
+    for (uint64_t t = 0; t < 10000; t += 4)
+        ts.sample(t, 1.0);
+    ASSERT_GT(ts.interval(), 4u) << "test needs a decimated series";
+
+    ts.clear();
+    EXPECT_TRUE(ts.empty());
+    EXPECT_EQ(ts.interval(), 4u)
+        << "clear() must rewind the stride to minInterval";
+    // A reused series resolves a short run as finely as a fresh one.
+    ts.sample(0, 1.0);
+    ts.sample(4, 2.0);
+    EXPECT_EQ(ts.size(), 2u);
+}
+
+TEST(TimeSeriesTest, ConstructorClampsDegenerateArgs)
+{
+    TimeSeries ts(0, 0); // Clamped to (16, 1).
+    EXPECT_EQ(ts.interval(), 1u);
+    for (uint64_t t = 0; t < 15; ++t)
+        ts.sample(t, static_cast<double>(t));
+    EXPECT_EQ(ts.size(), 15u) << "maxSamples clamps up to 16";
+}
+
 TEST(TimeSeriesTest, NearbySamplesCollapse)
 {
     TimeSeries ts(64, 8);

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validate JSON documents against the checked-in report schemas.
+
+Usage: check_schema.py SCHEMA.json DOC.json [DOC.json ...]
+
+CI runners only guarantee a stock python3 (no jsonschema package), so
+this is a small hand-written validator for the subset of JSON Schema
+the files under schemas/ actually use:
+
+    type (string), enum, minimum, maximum,
+    properties, required, additionalProperties (false | schema),
+    items, minItems
+
+Unknown keywords ($comment and friends) are ignored, matching JSON
+Schema semantics. Exit 0 when every document validates; exit 1 with
+one "path: message" line per violation otherwise.
+"""
+
+import json
+import sys
+
+
+def type_ok(value, expected):
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "boolean":
+        return isinstance(value, bool)
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "integer":
+        # Accept integral floats: the C++ writer prints 3.0 as "3" but
+        # a ratio of 0 still parses as int either way.
+        return (isinstance(value, int) and not isinstance(value, bool)) or (
+            isinstance(value, float) and value.is_integer())
+    if expected == "null":
+        return value is None
+    raise ValueError(f"unsupported type keyword: {expected}")
+
+
+def validate(value, schema, path, errors):
+    if not isinstance(schema, dict):
+        raise ValueError(f"{path}: schema node must be an object")
+
+    if "enum" in schema:
+        if value not in schema["enum"]:
+            errors.append(f"{path}: {value!r} not in {schema['enum']}")
+            return
+
+    if "type" in schema:
+        if not type_ok(value, schema["type"]):
+            errors.append(
+                f"{path}: expected {schema['type']}, "
+                f"got {type(value).__name__} ({value!r:.80})")
+            return
+
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+        if "maximum" in schema and value > schema["maximum"]:
+            errors.append(f"{path}: {value} > maximum {schema['maximum']}")
+
+    if isinstance(value, dict):
+        props = schema.get("properties", {})
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key '{key}'")
+        for key, sub in value.items():
+            if key in props:
+                validate(sub, props[key], f"{path}.{key}", errors)
+                continue
+            extra = schema.get("additionalProperties", True)
+            if extra is False:
+                errors.append(f"{path}: unexpected key '{key}'")
+            elif isinstance(extra, dict):
+                validate(sub, extra, f"{path}.{key}", errors)
+
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(
+                f"{path}: {len(value)} items < minItems {schema['minItems']}")
+        if "items" in schema:
+            for i, item in enumerate(value):
+                validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        schema = json.load(f)
+    failed = False
+    for doc_path in argv[2:]:
+        with open(doc_path) as f:
+            doc = json.load(f)
+        errors = []
+        validate(doc, schema, "$", errors)
+        if errors:
+            failed = True
+            print(f"{doc_path}: FAIL against {argv[1]}")
+            for e in errors:
+                print(f"  {e}")
+        else:
+            print(f"{doc_path}: OK against {argv[1]}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

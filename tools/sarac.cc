@@ -35,6 +35,10 @@
  *   --dump-graph       print the VUDFG before simulating
  *   --units            print the per-unit activity table
  *   --stalls           print the per-unit stall-attribution table
+ *   --counters         print the per-unit performance-counter file
+ *                      (firings, busy/stall/idle, bytes, occupancy
+ *                      peaks; router cells summarized) plus a text
+ *                      heatmap of fabric utilization
  *
  * Fault injection & hang diagnosis:
  *   --inject SPEC      arm one fault model (repeatable). SPEC grammar:
@@ -79,6 +83,7 @@
 #include "fault/failure.h"
 #include "jobs/jobs.h"
 #include "runtime/run.h"
+#include "support/counters.h"
 #include "support/json.h"
 #include "support/logging.h"
 #include "support/table.h"
@@ -98,7 +103,7 @@ usage()
                  "[--no-OPT ...] [--check] [--max-cycles N] "
                  "[--noc] [--noc-stats]\n"
                  "             [--trace FILE] [--json FILE] "
-                 "[--dump-graph] [--units] [--stalls]\n"
+                 "[--dump-graph] [--units] [--stalls] [--counters]\n"
                  "             [--cache] [--cache-dir DIR] "
                  "[--emit-artifact FILE] [--load-artifact FILE]\n"
                  "             [--inject SPEC ...] [--inject-seed N] "
@@ -118,7 +123,7 @@ struct CliOptions
     bool batch = false;
     int threads = 0;
     bool dumpGraph = false, unitTable = false, stallTable = false;
-    bool nocStats = false;
+    bool nocStats = false, countersTable = false;
     bool metrics = false;
     std::string jsonFile;
     std::string cacheDir;
@@ -224,6 +229,15 @@ printReport(const workloads::Workload &w, const CliOptions &cli,
         total.push_back(std::to_string(r.sim.cycles));
         t.addRow(total);
         std::printf("%s", t.str().c_str());
+    }
+
+    if (cli.countersTable) {
+        const auto &spec = cli.rc.compiler.spec;
+        std::printf("%s",
+                    telemetry::renderCounterReport(r.sim.counters,
+                                                   spec.rows, spec.cols,
+                                                   r.sim.cycles)
+                        .c_str());
     }
 
     if (cli.nocStats && r.sim.noc.enabled) {
@@ -552,6 +566,8 @@ realMain(int argc, char **argv)
             cli.unitTable = true;
         } else if (arg == "--stalls") {
             cli.stallTable = true;
+        } else if (arg == "--counters") {
+            cli.countersTable = true;
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             return usage();
