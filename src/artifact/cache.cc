@@ -50,9 +50,42 @@ ArtifactCache::pathFor(const std::string &key) const
     return dir_ + "/" + key + ".sara";
 }
 
+void
+ArtifactCache::noteOpen(const std::string &key)
+{
+    auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(openMu_);
+    // Opportunistically drop expired holds so the map stays small.
+    for (auto it = recentOpens_.begin(); it != recentOpens_.end();) {
+        double ageMs =
+            std::chrono::duration<double, std::milli>(now - it->second)
+                .count();
+        it = ageMs >= trimWindowMs_ ? recentOpens_.erase(it)
+                                    : std::next(it);
+    }
+    recentOpens_[key] = now;
+}
+
+bool
+ArtifactCache::recentlyOpened(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(openMu_);
+    auto it = recentOpens_.find(key);
+    if (it == recentOpens_.end())
+        return false;
+    double ageMs = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - it->second)
+                       .count();
+    return ageMs < trimWindowMs_;
+}
+
 std::optional<compiler::CompileResult>
 ArtifactCache::lookup(const std::string &key)
 {
+    // Claim the key before probing the filesystem: a concurrent trim
+    // must hold (skip) this entry for the whole open window, or the
+    // exists -> read gap below could dangle on a deleted file.
+    noteOpen(key);
     std::string path = pathFor(key);
     std::error_code ec;
     if (!fs::exists(path, ec)) {
@@ -137,6 +170,10 @@ ArtifactCache::trim(uint64_t maxBytes)
     for (const auto &en : entries) {
         if (total <= maxBytes)
             break;
+        // Hold-or-skip: an entry a reader opened inside the window may
+        // be mid-read right now — never delete it under their feet.
+        if (recentlyOpened(en.path.stem().string()))
+            continue;
         if (fs::remove(en.path, ec)) {
             total -= en.size;
             ++evicted;
@@ -150,6 +187,11 @@ ArtifactCache::trim(uint64_t maxBytes)
 int
 ArtifactCache::clear()
 {
+    // Explicit wipe overrides the trim holds.
+    {
+        std::lock_guard<std::mutex> lock(openMu_);
+        recentOpens_.clear();
+    }
     int removed = 0;
     std::error_code ec;
     for (const auto &de : fs::directory_iterator(dir_, ec)) {

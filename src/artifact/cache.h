@@ -23,7 +23,9 @@
  * deduplicated — one thread compiles, the rest block on its result.
  */
 
+#include <chrono>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -69,9 +71,22 @@ class ArtifactCache
     /** Whether `key` is present (no decode, no counters). */
     bool contains(const std::string &key) const;
 
-    /** Evict least-recently-used entries until the directory is under
-     *  `maxBytes`. Returns the number of entries removed. */
+    /**
+     * Evict least-recently-used entries until the directory is under
+     * `maxBytes`. Returns the number of entries removed.
+     *
+     * Entries opened by lookup() within the trim window are held —
+     * skipped even when they are the LRU candidates — so a concurrent
+     * cache hit can never have its file deleted between the existence
+     * probe and the read (which would surface as a spurious corrupt
+     * entry). The directory may transiently exceed `maxBytes` by the
+     * held entries; they become evictable once the window expires.
+     */
     int trim(uint64_t maxBytes);
+
+    /** Trim hold window in milliseconds (default 10s). Tests shrink it
+     *  to exercise expiry; 0 disables the hold entirely. */
+    void setTrimWindowMs(double ms) { trimWindowMs_ = ms; }
 
     /** Remove every cache entry. Returns the number removed. */
     int clear();
@@ -88,9 +103,18 @@ class ArtifactCache
     }
 
   private:
+    void noteOpen(const std::string &key);
+    bool recentlyOpened(const std::string &key) const;
+
     std::string dir_;
     uint64_t maxBytes_;
     const fault::FaultInjector *inj_ = nullptr;
+
+    // Keys lookup() opened recently, held back from trim eviction.
+    mutable std::mutex openMu_;
+    std::map<std::string, std::chrono::steady_clock::time_point>
+        recentOpens_;
+    double trimWindowMs_ = 10000.0;
 };
 
 /**

@@ -1,0 +1,499 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "fault/failure.h"
+#include "runtime/run.h"
+#include "support/logging.h"
+#include "support/telemetry.h"
+#include "workloads/workload.h"
+
+namespace sara::serve {
+
+namespace {
+
+double
+msBetween(std::chrono::steady_clock::time_point a,
+          std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+void
+count(const char *name, uint64_t delta = 1)
+{
+    telemetry::Registry::global().add(name, delta);
+}
+
+} // namespace
+
+/** One accepted connection: the fd plus a write lock so worker and
+ *  reader threads interleave whole response lines, never bytes. */
+struct Server::Conn
+{
+    int fd = -1;
+    std::mutex writeMu;
+    std::atomic<bool> open{true};
+
+    ~Conn()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+};
+
+Server::Server(ServerOptions opt)
+    : opt_(std::move(opt)), queue_(opt_.queueDepth)
+{
+    workers_ = opt_.workers;
+    if (workers_ <= 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        workers_ = hw == 0 ? 2 : static_cast<int>(hw);
+    }
+    for (const auto &[tenant, weight] : opt_.tenantWeights)
+        queue_.setWeight(tenant, weight);
+    epoch_ = std::chrono::steady_clock::now();
+}
+
+Server::~Server()
+{
+    requestStop();
+    if (started_.load())
+        wait();
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+}
+
+void
+Server::start()
+{
+    SARA_ASSERT(!started_.load(), "serve: start() called twice");
+    telemetry::Registry::global().setEnabled(true);
+
+    if (opt_.useDiskCache) {
+        cache_ = std::make_unique<artifact::ArtifactCache>(
+            opt_.cacheDir);
+        inform("sarad: artifact cache at ", cache_->dir());
+    }
+    compiler_ =
+        std::make_unique<artifact::CachingCompiler>(cache_.get());
+
+    if (opt_.socketPath.size() >= sizeof(sockaddr_un{}.sun_path))
+        fatal("sarad: socket path too long: ", opt_.socketPath);
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        fatal("sarad: socket(): ", std::strerror(errno));
+    ::unlink(opt_.socketPath.c_str());
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, opt_.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0)
+        fatal("sarad: bind(", opt_.socketPath,
+              "): ", std::strerror(errno));
+    if (::listen(listenFd_, 64) < 0)
+        fatal("sarad: listen(): ", std::strerror(errno));
+
+    started_.store(true);
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    workerThreads_.reserve(workers_);
+    for (int i = 0; i < workers_; ++i)
+        workerThreads_.emplace_back([this] { workerLoop(); });
+    inform("sarad: serving on ", opt_.socketPath, " with ", workers_,
+           " workers, queue depth ", opt_.queueDepth);
+}
+
+void
+Server::requestStop()
+{
+    if (stopping_.exchange(true))
+        return;
+    queue_.stop();
+}
+
+void
+Server::wait()
+{
+    SARA_ASSERT(started_.load(), "serve: wait() before start()");
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    // Workers drain the admitted backlog, then exit on the stopped
+    // queue's nullopt.
+    for (auto &w : workerThreads_)
+        if (w.joinable())
+            w.join();
+    // Unblock readers parked in recv() and collect them.
+    {
+        std::lock_guard<std::mutex> lock(connMu_);
+        for (const auto &c : conns_)
+            if (c->open.load())
+                ::shutdown(c->fd, SHUT_RDWR);
+    }
+    for (auto &r : readerThreads_)
+        if (r.joinable())
+            r.join();
+    ::close(listenFd_);
+    listenFd_ = -1;
+    ::unlink(opt_.socketPath.c_str());
+    started_.store(false);
+    inform("sarad: drained and stopped");
+}
+
+void
+Server::acceptLoop()
+{
+    while (!stopping_.load()) {
+        pollfd pfd{listenFd_, POLLIN, 0};
+        int n = ::poll(&pfd, 1, 100);
+        if (n <= 0)
+            continue;
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        auto conn = std::make_shared<Conn>();
+        conn->fd = fd;
+        std::lock_guard<std::mutex> lock(connMu_);
+        conns_.push_back(conn);
+        readerThreads_.emplace_back(
+            [this, conn] { readerLoop(conn); });
+        count("serve.connections");
+    }
+}
+
+void
+Server::sendLine(const std::shared_ptr<Conn> &conn,
+                 const std::string &line)
+{
+    if (!conn->open.load())
+        return;
+    std::lock_guard<std::mutex> lock(conn->writeMu);
+    std::string buf = line + "\n";
+    size_t off = 0;
+    while (off < buf.size()) {
+        ssize_t n = ::send(conn->fd, buf.data() + off,
+                           buf.size() - off, MSG_NOSIGNAL);
+        if (n <= 0) {
+            // Peer vanished mid-response; drop the rest. The request
+            // side effects (cache stores) are already complete.
+            conn->open.store(false);
+            return;
+        }
+        off += static_cast<size_t>(n);
+    }
+}
+
+void
+Server::readerLoop(std::shared_ptr<Conn> conn)
+{
+    constexpr size_t kMaxLine = 1 << 20;
+    std::string pending;
+    char buf[4096];
+    while (conn->open.load()) {
+        ssize_t n = ::recv(conn->fd, buf, sizeof buf, 0);
+        if (n <= 0)
+            break;
+        pending.append(buf, static_cast<size_t>(n));
+        size_t start = 0;
+        for (size_t nl; (nl = pending.find('\n', start)) !=
+                        std::string::npos;
+             start = nl + 1) {
+            std::string line = pending.substr(start, nl - start);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (!line.empty())
+                handleLine(conn, line);
+        }
+        pending.erase(0, start);
+        if (pending.size() > kMaxLine) {
+            sendLine(conn, errorResponse(
+                               "", "request line exceeds 1 MiB"));
+            break;
+        }
+    }
+    conn->open.store(false);
+}
+
+void
+Server::handleLine(const std::shared_ptr<Conn> &conn,
+                   const std::string &line)
+{
+    Request req;
+    try {
+        req = parseRequest(line);
+    } catch (const std::exception &e) {
+        count("serve.parse_errors");
+        sendLine(conn, errorResponse("", e.what()));
+        return;
+    }
+
+    switch (req.verb) {
+    case Verb::Stats: {
+        // Served inline on the reader thread: observability must not
+        // queue behind the work it is observing.
+        ResponseBuilder b(req.id, "ok");
+        b.kv("verb", "stats").raw("stats", statsJson());
+        sendLine(conn, b.str());
+        return;
+    }
+    case Verb::Shutdown: {
+        sendLine(conn,
+                 ResponseBuilder(req.id, "ok")
+                     .kv("verb", "shutdown")
+                     .str());
+        inform("sarad: shutdown requested by client");
+        requestStop();
+        return;
+    }
+    case Verb::Compile:
+    case Verb::Run:
+        break;
+    }
+
+    Ticket t{req, conn, std::chrono::steady_clock::now()};
+    if (!queue_.tryPush(req.tenant, std::move(t))) {
+        count("serve.rejected");
+        {
+            std::lock_guard<std::mutex> lock(statsMu_);
+            ++tenants_[req.tenant].rejected;
+        }
+        sendLine(conn, rejectedResponse(req.id, retryAfterHintMs()));
+        return;
+    }
+    count("serve.admitted");
+    std::lock_guard<std::mutex> lock(statsMu_);
+    ++tenants_[req.tenant].admitted;
+}
+
+double
+Server::retryAfterHintMs() const
+{
+    // A full queue drains in ~depth/workers service times; suggest a
+    // fraction of that so retries spread instead of thundering.
+    std::lock_guard<std::mutex> lock(statsMu_);
+    double drainMs = ewmaServiceMs_ *
+                     static_cast<double>(opt_.queueDepth) /
+                     std::max(1, workers_);
+    return std::max(1.0, drainMs / 4.0);
+}
+
+void
+Server::workerLoop()
+{
+    while (true) {
+        std::optional<Ticket> t = queue_.pop();
+        if (!t)
+            return;
+        execute(*t);
+    }
+}
+
+std::shared_ptr<const compiler::CompileResult>
+Server::memLookup(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(memMu_);
+    auto it = mem_.find(key);
+    if (it == mem_.end()) {
+        count("serve.memcache.miss");
+        return nullptr;
+    }
+    it->second.lastUse = ++memTick_;
+    count("serve.memcache.hit");
+    return it->second.result;
+}
+
+void
+Server::memStore(const std::string &key,
+                 std::shared_ptr<const compiler::CompileResult> r)
+{
+    std::lock_guard<std::mutex> lock(memMu_);
+    mem_[key] = MemEntry{std::move(r), ++memTick_};
+    while (mem_.size() > opt_.memCacheEntries) {
+        auto lru = mem_.begin();
+        for (auto it = mem_.begin(); it != mem_.end(); ++it)
+            if (it->second.lastUse < lru->second.lastUse)
+                lru = it;
+        mem_.erase(lru);
+        count("serve.memcache.evict");
+    }
+}
+
+std::string
+Server::executeCompileOrRun(const Request &req, double queueMs,
+                            double &serviceMs)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    workloads::WorkloadConfig cfg;
+    cfg.par = req.par;
+    cfg.scale = req.scale;
+    workloads::Workload w = workloads::buildByName(req.workload, cfg);
+
+    compiler::CompilerOptions copt; // Server-wide defaults.
+    std::string key = artifact::contentKey(w.program, copt);
+
+    bool fromCache = false, deduped = false;
+    std::shared_ptr<const compiler::CompileResult> compiled =
+        memLookup(key);
+    if (compiled) {
+        fromCache = true;
+    } else {
+        // Disk probe + in-flight dedup + compile, with the batch
+        // runner's transient-retry semantics.
+        for (int attempt = 1;; ++attempt) {
+            try {
+                auto c = compiler_->compile(w.program, copt);
+                fromCache = c.fromCache;
+                deduped = c.deduped;
+                compiled = std::make_shared<compiler::CompileResult>(
+                    std::move(c.result));
+                break;
+            } catch (const TransientError &e) {
+                if (attempt >= opt_.maxAttempts)
+                    throw;
+                count("serve.retried");
+                warn("sarad: transient failure for ", req.workload,
+                     " (attempt ", attempt, "/", opt_.maxAttempts,
+                     "): ", e.what());
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(
+                        opt_.retryBackoffMs * attempt));
+            }
+        }
+        memStore(key, compiled);
+    }
+
+    ResponseBuilder b(req.id, "ok");
+    b.kv("verb", verbName(req.verb))
+        .kv("tenant", req.tenant)
+        .kv("workload", req.workload)
+        .kv("key", key)
+        .kv("from_cache", fromCache)
+        .kv("deduped", deduped);
+
+    if (req.verb == Verb::Run) {
+        runtime::RunConfig rc;
+        rc.compiler = copt;
+        rc.check = req.check;
+        rc.sim.useNoc = req.noc;
+        rc.sim.hangDiagnosis = true;
+        if (req.maxCycles)
+            rc.sim.maxCycles = req.maxCycles;
+        else if (opt_.defaultMaxCycles)
+            rc.sim.maxCycles = opt_.defaultMaxCycles;
+        rc.preCompiled = compiled.get();
+        runtime::RunOutcome r = runtime::runWorkload(w, rc);
+        b.kv("cycles", r.sim.cycles)
+            .kv("time_us", r.timeUs())
+            .kv("gflops", r.gflops())
+            .kv("dram_gbs", r.dramGBs());
+        if (r.checked)
+            b.kv("correct", r.correct);
+    }
+
+    serviceMs = msBetween(t0, std::chrono::steady_clock::now());
+    b.kv("queue_ms", queueMs).kv("service_ms", serviceMs);
+    return b.str();
+}
+
+void
+Server::execute(const Ticket &ticket)
+{
+    auto popped = std::chrono::steady_clock::now();
+    double queueMs = msBetween(ticket.enqueued, popped);
+    double serviceMs = 0.0;
+    std::string response;
+    bool failed = false;
+    try {
+        response =
+            executeCompileOrRun(ticket.req, queueMs, serviceMs);
+    } catch (const fault::HangError &e) {
+        // Structured escalation: the classified FailureReport rides
+        // inside the error response; the daemon keeps serving.
+        failed = true;
+        response = ResponseBuilder(ticket.req.id, "error")
+                       .kv("error", "simulation hang: see report")
+                       .raw("failure_report", e.report().json())
+                       .str();
+    } catch (const std::exception &e) {
+        failed = true;
+        response = errorResponse(ticket.req.id, e.what());
+    } catch (...) {
+        failed = true;
+        response =
+            errorResponse(ticket.req.id, "unknown internal error");
+    }
+
+    if (failed)
+        count("serve.errors");
+    else
+        count("serve.completed");
+
+    {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        TenantStats &ts = tenants_[ticket.req.tenant];
+        if (failed) {
+            ++ts.errors;
+        } else {
+            ++ts.completed;
+            ts.queueMs.record(queueMs);
+            ts.serviceMs.record(serviceMs);
+            ts.totalMs.record(queueMs + serviceMs);
+            ewmaServiceMs_ =
+                0.9 * ewmaServiceMs_ + 0.1 * std::max(0.01, serviceMs);
+        }
+    }
+    sendLine(ticket.conn, response);
+}
+
+std::string
+Server::statsJson() const
+{
+    auto &reg = telemetry::Registry::global();
+    json::Writer j;
+    j.beginObject();
+    j.kv("uptime_ms",
+         msBetween(epoch_, std::chrono::steady_clock::now()));
+    j.kv("workers", workers_);
+    j.kv("queue_depth", static_cast<uint64_t>(queue_.depth()));
+    j.kv("queue_limit", static_cast<uint64_t>(queue_.maxDepth()));
+
+    j.key("counters").beginObject();
+    for (const auto &[name, v] : reg.counterSnapshot())
+        j.kv(name, v);
+    j.endObject();
+    j.key("gauges").beginObject();
+    for (const auto &[name, v] : reg.gaugeSnapshot())
+        j.kv(name, v);
+    j.endObject();
+
+    j.key("tenants").beginObject();
+    {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        for (const auto &[tenant, ts] : tenants_) {
+            j.key(tenant).beginObject();
+            j.kv("admitted", ts.admitted);
+            j.kv("completed", ts.completed);
+            j.kv("rejected", ts.rejected);
+            j.kv("errors", ts.errors);
+            j.kv("queued", static_cast<uint64_t>(queue_.depth(tenant)));
+            j.kv("queue_ms_p50", ts.queueMs.quantileMs(0.50));
+            j.kv("queue_ms_p99", ts.queueMs.quantileMs(0.99));
+            j.kv("service_ms_p50", ts.serviceMs.quantileMs(0.50));
+            j.kv("service_ms_p99", ts.serviceMs.quantileMs(0.99));
+            j.kv("total_ms_p50", ts.totalMs.quantileMs(0.50));
+            j.kv("total_ms_p99", ts.totalMs.quantileMs(0.99));
+            j.kv("mean_service_ms", ts.serviceMs.meanMs());
+            j.endObject();
+        }
+    }
+    j.endObject();
+    j.endObject();
+    return j.str();
+}
+
+} // namespace sara::serve

@@ -1,0 +1,215 @@
+#ifndef SARA_SERVE_SERVER_H
+#define SARA_SERVE_SERVER_H
+
+/**
+ * @file
+ * sarad — the resident compile-and-simulate service. Composes the
+ * existing libraries into a long-running daemon:
+ *
+ *   - transport: newline-delimited JSON (src/serve/protocol) over a
+ *     Unix-domain stream socket; one reader thread per connection,
+ *     responses matched to requests by client-chosen id (a pipelined
+ *     connection may see them out of order).
+ *   - admission control: a bounded jobs::FairQueue. When the backlog
+ *     hits the configured depth, requests are rejected immediately
+ *     with a structured `rejected` response carrying a retry_after_ms
+ *     hint derived from the observed service rate — the daemon never
+ *     queues unboundedly and never hangs a client.
+ *   - fairness: weighted stride scheduling across the per-request
+ *     `tenant` field (jobs::FairQueue); equal-weight tenants at equal
+ *     offered load complete within a hair of each other even at
+ *     saturation.
+ *   - dedup + warm caches: compiles go through an in-memory LRU of
+ *     decoded CompileResults keyed by the artifact SHA-256 content
+ *     key, then artifact::CachingCompiler (in-flight dedup + the
+ *     on-disk artifact cache). A repeat request is served at memory
+ *     speed without recompiling.
+ *   - failure isolation: worker exceptions become structured `error`
+ *     responses (HangError carries the full FailureReport JSON);
+ *     TransientErrors are retried with linear backoff like the batch
+ *     runner. A poisoned request can never take the daemon down.
+ *   - observability: the `stats` verb snapshots the global metrics
+ *     registry plus per-tenant admission/latency statistics
+ *     (p50/p99 from log-bucketed histograms) — a live endpoint, not a
+ *     post-mortem report.
+ */
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "artifact/cache.h"
+#include "jobs/fair.h"
+#include "serve/protocol.h"
+
+namespace sara::serve {
+
+/** Log-bucketed latency histogram: bucket k counts samples in
+ *  [2^k, 2^(k+1)) microseconds. Quantiles report the bucket upper
+ *  bound — coarse, but monotone and allocation-free. */
+class LatencyHisto
+{
+  public:
+    void
+    record(double ms)
+    {
+        double us = ms * 1e3;
+        size_t b = 0;
+        while (b + 1 < buckets_.size() && us >= double(2ULL << b))
+            ++b;
+        ++buckets_[b];
+        ++count_;
+        sumMs_ += ms;
+    }
+
+    uint64_t count() const { return count_; }
+    double meanMs() const { return count_ ? sumMs_ / count_ : 0.0; }
+
+    /** q in [0,1]; returns the upper bound (ms) of the bucket holding
+     *  the q-quantile sample (0 when empty). */
+    double
+    quantileMs(double q) const
+    {
+        if (!count_)
+            return 0.0;
+        uint64_t rank = static_cast<uint64_t>(q * (count_ - 1)) + 1;
+        uint64_t seen = 0;
+        for (size_t b = 0; b < buckets_.size(); ++b) {
+            seen += buckets_[b];
+            if (seen >= rank)
+                return double(2ULL << b) / 1e3;
+        }
+        return double(2ULL << (buckets_.size() - 1)) / 1e3;
+    }
+
+  private:
+    std::array<uint64_t, 40> buckets_{};
+    uint64_t count_ = 0;
+    double sumMs_ = 0.0;
+};
+
+/** Daemon configuration. */
+struct ServerOptions
+{
+    std::string socketPath = "sarad.sock";
+    /** Worker threads; 0 = hardware concurrency. */
+    int workers = 0;
+    /** Admission bound: max queued (not yet executing) requests. */
+    size_t queueDepth = 64;
+    /** On-disk artifact cache directory; empty = in-memory LRU only. */
+    std::string cacheDir;
+    bool useDiskCache = false;
+    /** Decoded-result LRU entries held in memory. */
+    size_t memCacheEntries = 64;
+    /** Total attempts for TransientError requests (1 = no retry). */
+    int maxAttempts = 2;
+    double retryBackoffMs = 2.0;
+    /** Simulator cycle budget applied when a request doesn't set one. */
+    uint64_t defaultMaxCycles = 0;
+    /** Per-tenant scheduling weights (absent tenants weigh 1.0). */
+    std::map<std::string, double> tenantWeights;
+};
+
+/** The resident service. start() binds and spawns threads; wait()
+ *  blocks until a shutdown request (or requestStop()) drains the
+ *  daemon. Construction is cheap and throws nothing; start() fatal()s
+ *  when the socket cannot be bound. */
+class Server
+{
+  public:
+    explicit Server(ServerOptions opt);
+    ~Server();
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    void start();
+    void wait();
+    /** Idempotent; also triggered by the shutdown verb. */
+    void requestStop();
+    bool stopping() const { return stopping_.load(); }
+
+    const std::string &socketPath() const { return opt_.socketPath; }
+    int workers() const { return workers_; }
+
+    /** The stats payload (a JSON object, not a full response line) —
+     *  shared by the stats verb and tests. */
+    std::string statsJson() const;
+
+  private:
+    struct Conn;
+    struct Ticket
+    {
+        Request req;
+        std::shared_ptr<Conn> conn;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+    struct TenantStats
+    {
+        uint64_t admitted = 0;
+        uint64_t completed = 0;
+        uint64_t rejected = 0;
+        uint64_t errors = 0;
+        LatencyHisto queueMs;
+        LatencyHisto serviceMs;
+        LatencyHisto totalMs;
+    };
+
+    void acceptLoop();
+    void readerLoop(std::shared_ptr<Conn> conn);
+    void workerLoop();
+    void handleLine(const std::shared_ptr<Conn> &conn,
+                    const std::string &line);
+    void execute(const Ticket &ticket);
+    std::string executeCompileOrRun(const Request &req, double queueMs,
+                                    double &serviceMs);
+    static void sendLine(const std::shared_ptr<Conn> &conn,
+                         const std::string &line);
+    double retryAfterHintMs() const;
+
+    ServerOptions opt_;
+    int workers_ = 0;
+    int listenFd_ = -1;
+    std::atomic<bool> started_{false};
+    std::atomic<bool> stopping_{false};
+
+    jobs::FairQueue<Ticket> queue_;
+    std::unique_ptr<artifact::ArtifactCache> cache_;
+    std::unique_ptr<artifact::CachingCompiler> compiler_;
+
+    // In-memory LRU of decoded compile results, keyed by content key.
+    mutable std::mutex memMu_;
+    struct MemEntry
+    {
+        std::shared_ptr<const compiler::CompileResult> result;
+        uint64_t lastUse = 0;
+    };
+    std::map<std::string, MemEntry> mem_;
+    uint64_t memTick_ = 0;
+    std::shared_ptr<const compiler::CompileResult>
+    memLookup(const std::string &key);
+    void memStore(const std::string &key,
+                  std::shared_ptr<const compiler::CompileResult> r);
+
+    // Tenant statistics + service-rate EWMA for retry hints.
+    mutable std::mutex statsMu_;
+    std::map<std::string, TenantStats> tenants_;
+    double ewmaServiceMs_ = 10.0;
+    std::chrono::steady_clock::time_point epoch_;
+
+    std::thread acceptThread_;
+    std::vector<std::thread> workerThreads_;
+    mutable std::mutex connMu_;
+    std::vector<std::shared_ptr<Conn>> conns_;
+    std::vector<std::thread> readerThreads_;
+};
+
+} // namespace sara::serve
+
+#endif // SARA_SERVE_SERVER_H

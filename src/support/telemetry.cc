@@ -48,6 +48,20 @@ Registry::gauge(const std::string &name) const
     return it == gauges_.end() ? 0.0 : it->second;
 }
 
+std::map<std::string, uint64_t>
+Registry::counterSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+}
+
+std::map<std::string, double>
+Registry::gaugeSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return gauges_;
+}
+
 void
 Registry::clear()
 {

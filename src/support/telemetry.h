@@ -83,6 +83,11 @@ class Registry
     uint64_t counter(const std::string &name) const;
     double gauge(const std::string &name) const;
 
+    /** Locked copies of every metric — safe while writers are live
+     *  (the sarad stats endpoint samples a running daemon). */
+    std::map<std::string, uint64_t> counterSnapshot() const;
+    std::map<std::string, double> gaugeSnapshot() const;
+
     /** Direct views — only safe once concurrent writers have quiesced
      *  (e.g. after a batch drains); use counter()/gauge() otherwise. */
     const std::map<std::string, uint64_t> &counters() const

@@ -9,9 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "artifact/artifact.h"
 #include "artifact/cache.h"
@@ -365,6 +367,79 @@ TEST(ArtifactCache, TrimEvictsOldestFirst)
 
     EXPECT_EQ(cache.clear(), 2);
     EXPECT_FALSE(cache.contains(keys[1]));
+}
+
+TEST(ArtifactCache, TrimHoldsRecentlyOpenedEntries)
+{
+    TempDir tmp("sara-cache-hold-test");
+    artifact::ArtifactCache cache(tmp.path.string(), /*maxBytes=*/0);
+    workloads::WorkloadConfig cfg;
+    cfg.par = 8;
+    auto w = workloads::buildByName("ms", cfg);
+    auto r = compiler::compile(w.program, testOptions());
+
+    std::string hot(64, 'a'), cold(64, 'b');
+    cache.store(hot, r);
+    cache.store(cold, r);
+
+    // Open `hot`, then backdate its mtime so plain LRU would pick it
+    // as the eviction victim: only the in-memory hold can save it.
+    ASSERT_TRUE(cache.lookup(hot).has_value());
+    auto now = fs::last_write_time(cache.pathFor(hot));
+    fs::last_write_time(cache.pathFor(hot),
+                        now - std::chrono::hours(1));
+
+    int evicted = cache.trim(1); // budget forces eviction
+    EXPECT_EQ(evicted, 1);
+    EXPECT_TRUE(cache.contains(hot));   // held: opened this window
+    EXPECT_FALSE(cache.contains(cold)); // evictable, gone
+
+    // Once the window expires the hold lapses and trim reclaims it.
+    cache.setTrimWindowMs(0.0);
+    EXPECT_EQ(cache.trim(1), 1);
+    EXPECT_FALSE(cache.contains(hot));
+}
+
+TEST(ArtifactCache, ConcurrentLookupsSurviveTrimChurn)
+{
+    // Readers hammer one hot entry while another thread stores filler
+    // entries and trims to a tiny budget. With hold-or-skip eviction a
+    // hit can never dangle on a deleted file, so every lookup of the
+    // hot key must succeed (pre-fix, trim could delete it between a
+    // reader's existence probe and its read).
+    TempDir tmp("sara-cache-churn-test");
+    artifact::ArtifactCache cache(tmp.path.string(), /*maxBytes=*/0);
+    workloads::WorkloadConfig cfg;
+    cfg.par = 8;
+    auto w = workloads::buildByName("ms", cfg);
+    auto r = compiler::compile(w.program, testOptions());
+
+    std::string hot(64, 'f');
+    cache.store(hot, r);
+    uint64_t each = fs::file_size(cache.pathFor(hot));
+
+    std::atomic<int> misses{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 4; ++t)
+        readers.emplace_back([&] {
+            for (int i = 0; i < 50; ++i)
+                if (!cache.lookup(hot).has_value())
+                    ++misses;
+        });
+    std::thread churn([&] {
+        for (int i = 0; i < 50; ++i) {
+            std::string filler = std::string(63, 'e') +
+                                 static_cast<char>('0' + i % 10);
+            cache.store(filler, r);
+            cache.trim(each); // budget of ~one entry
+        }
+    });
+    for (auto &t : readers)
+        t.join();
+    churn.join();
+
+    EXPECT_EQ(misses.load(), 0);
+    EXPECT_TRUE(cache.contains(hot));
 }
 
 TEST(CachingCompiler, SecondCompileComesFromCache)

@@ -7,14 +7,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <filesystem>
+#include <mutex>
 #include <thread>
 
 #include "artifact/cache.h"
 #include "fault/fault.h"
+#include "jobs/fair.h"
 #include "jobs/jobs.h"
+#include "support/json.h"
 #include "support/logging.h"
 #include "support/telemetry.h"
 #include "workloads/workload.h"
@@ -349,6 +354,195 @@ TEST(CachingCompiler, DeduplicatesConcurrentIdenticalCompiles)
     EXPECT_EQ(fresh.load() + deduped.load(), 8);
     EXPECT_EQ(reg.counter("jobs.compile.deduped"),
               static_cast<uint64_t>(deduped.load()));
+    reg.setEnabled(false);
+}
+
+// --- Daemon-like load ------------------------------------------------------
+// The sarad service (src/serve) drives this machinery continuously:
+// requests arrive from many connection threads while workers drain,
+// identical keys race, and transient failures retry. These tests pin
+// the no-lost-and-no-double-run invariants under that load shape (and
+// run under the TSan CI job for race coverage).
+
+TEST(ThreadPool, ConcurrentSubmittersDuringDrainLoseNothing)
+{
+    jobs::ThreadPool pool(4);
+    constexpr int kSubmitters = 4, kEach = 200;
+    std::atomic<int> ran{0};
+    std::vector<std::thread> submitters;
+    for (int s = 0; s < kSubmitters; ++s)
+        submitters.emplace_back([&] {
+            for (int i = 0; i < kEach; ++i)
+                pool.submit([&](int) { ++ran; });
+        });
+    // Drain repeatedly while submissions are still arriving — the
+    // daemon's steady state. Each drain waits for everything queued so
+    // far; none may deadlock or drop tasks.
+    for (int i = 0; i < 8; ++i)
+        pool.drain();
+    for (auto &t : submitters)
+        t.join();
+    pool.drain();
+    EXPECT_EQ(ran.load(), kSubmitters * kEach);
+}
+
+TEST(FairQueue, ConcurrentProducersAndConsumersLoseNothing)
+{
+    // Unique payloads pushed from many tenant threads, popped by a
+    // worker pool until stop + drain: every accepted item comes out
+    // exactly once.
+    jobs::FairQueue<int> q(4096);
+    constexpr int kProducers = 4, kEach = 500;
+    std::atomic<int> accepted{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p)
+        producers.emplace_back([&, p] {
+            std::string tenant = "t" + std::to_string(p);
+            for (int i = 0; i < kEach; ++i)
+                if (q.tryPush(tenant, p * kEach + i))
+                    ++accepted;
+        });
+
+    std::mutex mu;
+    std::vector<int> popped;
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < 4; ++c)
+        consumers.emplace_back([&] {
+            while (auto item = q.pop()) {
+                std::lock_guard<std::mutex> lock(mu);
+                popped.push_back(*item);
+            }
+        });
+
+    for (auto &t : producers)
+        t.join();
+    q.stop();
+    for (auto &t : consumers)
+        t.join();
+
+    EXPECT_EQ(accepted.load(), kProducers * kEach); // depth was ample
+    ASSERT_EQ(popped.size(),
+              static_cast<size_t>(kProducers * kEach));
+    std::sort(popped.begin(), popped.end());
+    EXPECT_EQ(std::unique(popped.begin(), popped.end()),
+              popped.end())
+        << "an item was popped twice";
+}
+
+TEST(CachingCompiler, RacingWavesCompileExactlyOnce)
+{
+    // Two waves of identical requests against a disk-backed compiler:
+    // the first wave races in-flight dedup, the second hits the cache.
+    // Exactly one artifact store may ever happen.
+    namespace fs = std::filesystem;
+    fs::path dir = fs::temp_directory_path() / "sara-wave-dedup-test";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    auto &reg = telemetry::Registry::global();
+    reg.clear();
+    reg.setEnabled(true);
+
+    artifact::ArtifactCache cache(dir.string());
+    artifact::CachingCompiler cc(&cache);
+    workloads::WorkloadConfig cfg;
+    cfg.par = 8;
+    auto w = workloads::buildByName("ms", cfg);
+    compiler::CompilerOptions opt;
+    opt.spec = arch::PlasticineSpec::paper();
+    opt.pnrIterations = 200;
+
+    auto wave = [&](int n) {
+        std::atomic<int> fromCache{0}, deduped{0}, fresh{0};
+        auto report = jobs::forEachIndex(n, "wave", [&](size_t) {
+            auto c = cc.compile(w.program, opt);
+            if (c.fromCache)
+                ++fromCache;
+            else if (c.deduped)
+                ++deduped;
+            else
+                ++fresh;
+        });
+        EXPECT_TRUE(report.allOk());
+        EXPECT_EQ(fromCache + deduped + fresh, n);
+        return fresh.load();
+    };
+
+    EXPECT_EQ(wave(8), 1) << "first wave compiled more than once";
+    EXPECT_EQ(wave(8), 0) << "second wave missed the warm cache";
+    EXPECT_EQ(reg.counter("artifact.cache.store"), 1u);
+    reg.setEnabled(false);
+    fs::remove_all(dir);
+}
+
+TEST(Jobs, ParallelSweepOutputIsByteIdentical)
+{
+    // The bench binaries (bench_fig9/bench_fig10 et al.) run sweep
+    // points through forEachIndex into index-addressed slots, then
+    // serialize rows in submission order. That document must be
+    // byte-identical at any -j, whatever the completion order.
+    auto sweep = [](int threads) {
+        std::vector<double> slot(24, 0.0);
+        jobs::BatchOptions opt;
+        opt.threads = threads;
+        auto report = jobs::forEachIndex(
+            24, "pt",
+            [&](size_t i) {
+                // Unequal work per point scrambles completion order.
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds((i * 7) % 40));
+                slot[i] = std::sqrt(static_cast<double>(i)) * 3.25;
+            },
+            opt);
+        EXPECT_TRUE(report.allOk());
+        json::Writer w;
+        w.beginObject();
+        w.key("rows").beginArray();
+        for (size_t i = 0; i < slot.size(); ++i) {
+            w.beginObject();
+            w.kv("i", static_cast<uint64_t>(i));
+            w.kv("v", slot[i]);
+            w.endObject();
+        }
+        w.endArray().endObject();
+        return w.str();
+    };
+    std::string serial = sweep(1);
+    EXPECT_EQ(sweep(4), serial);
+    EXPECT_EQ(sweep(8), serial);
+}
+
+TEST(Jobs, ConcurrentRetriesAccountExactly)
+{
+    // Sixteen flaky jobs across four workers, each succeeding on its
+    // third attempt: nothing lost, nothing double-run, retry counters
+    // exact.
+    auto &reg = telemetry::Registry::global();
+    reg.clear();
+    reg.setEnabled(true);
+
+    constexpr int kJobs = 16;
+    std::vector<std::atomic<int>> attempts(kJobs);
+    std::vector<jobs::Job> batch;
+    for (int i = 0; i < kJobs; ++i)
+        batch.push_back({"flaky" + std::to_string(i), [&, i] {
+            if (++attempts[i] <= 2)
+                throw TransientError("glitch");
+        }});
+    jobs::BatchOptions opt;
+    opt.threads = 4;
+    opt.maxAttempts = 3;
+    opt.retryBackoffMs = 0.1;
+    auto report = jobs::runBatch(std::move(batch), opt);
+
+    EXPECT_TRUE(report.allOk());
+    EXPECT_EQ(report.succeeded(), kJobs);
+    for (int i = 0; i < kJobs; ++i)
+        EXPECT_EQ(attempts[i].load(), 3) << "job " << i;
+    for (const auto &o : report.outcomes)
+        EXPECT_EQ(o.retries, 2);
+    EXPECT_EQ(reg.counter("jobs.retried"),
+              static_cast<uint64_t>(2 * kJobs));
     reg.setEnabled(false);
 }
 

@@ -29,7 +29,12 @@
  *   --noc-stats        print the per-link network utilization table
  *                      (implies --noc)
  *   --trace FILE       write a unified Chrome trace (compile phases +
- *                      every firing + DRAM counter tracks)
+ *                      every firing + DRAM counter tracks). In --batch
+ *                      mode the same flag records the batch timeline
+ *                      (one compile/run span per job) instead — N
+ *                      simulator traces cannot share one file; run a
+ *                      workload singly for its full simulator trace
+ *                      (a one-line notice says so at batch start)
  *   --json FILE        write a machine-readable run report (single:
  *                      schema sara-run-report/v1; batch: sara-batch/v1)
  *   --dump-graph       print the VUDFG before simulating
@@ -111,7 +116,9 @@ usage()
                  "             [--metrics]\n"
                  "       sarac --batch [workload ...] [-j N] "
                  "[common options]\n"
-                 "       sarac --list\n");
+                 "       sarac --list\n"
+                 "note: in --batch mode --trace records the batch "
+                 "timeline, not per-run simulator traces\n");
     return 2;
 }
 
@@ -361,6 +368,13 @@ runBatch(CliOptions &cli)
         cache->setFaultInjector(cli.injector);
         inform("artifact cache at ", cache->dir());
     }
+
+    if (!cli.rc.sim.traceFile.empty())
+        warn("batch mode: --trace writes the batch timeline (one "
+             "compile/run span per job) to ",
+             cli.rc.sim.traceFile,
+             "; per-run simulator traces are disabled — run a "
+             "workload singly for its full simulator trace");
 
     struct Slot
     {
