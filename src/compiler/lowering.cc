@@ -210,6 +210,76 @@ struct Lowerer
         return CtrlId{};
     }
 
+    /**
+     * Is there a dataflow path from `w.block` to `r.block` through
+     * on-chip tensors other than `t` itself? FIFO-lowering t in that
+     * case is a deadlock waiting to happen: the reader joins the FIFO
+     * with data arriving over the longer reconvergent path, so it
+     * cannot drain the FIFO until that path delivers — while the
+     * producer keeps pushing. With a diamond (residual/skip
+     * connections) whose tensor exceeds the FIFO depth, both sides
+     * wedge. Such joins keep their VMU; straight-line producer ->
+     * consumer chains are unaffected.
+     */
+    bool
+    reconvergentPath(const Accessor &w, const Accessor &r,
+                     TensorId t) const
+    {
+        // Block-level dataflow edges: tensor writer block -> reader
+        // block labeled with the connecting tensor (on-chip only; DRAM
+        // round-trips go through AGs, not backpressured streams), plus
+        // unlabeled cross-block operand streams (reduction results and
+        // other SSA values consumed in a different hyperblock).
+        std::map<int32_t, std::vector<std::pair<int32_t, int32_t>>> adj;
+        for (const auto &other : access) {
+            if (p.tensor(other.tensor).space != MemSpace::OnChip)
+                continue;
+            for (const auto &aw : other.accessors) {
+                if (!aw.isWrite)
+                    continue;
+                for (const auto &ar : other.accessors) {
+                    if (ar.isWrite || ar.block == aw.block)
+                        continue;
+                    adj[aw.block.v].push_back(
+                        {ar.block.v, other.tensor.v});
+                }
+            }
+        }
+        for (size_t i = 0; i < p.numOps(); ++i) {
+            const Op &o = p.op(OpId(static_cast<int32_t>(i)));
+            for (OpId d : o.operands) {
+                CtrlId def = p.op(d).block;
+                if (def.valid() && !(def == o.block))
+                    adj[def.v].push_back({o.block.v, -1});
+            }
+        }
+        // Only *multi-hop* paths W -> X -> ... -> R are hazards: a
+        // direct side stream W -> R (a sibling-block reduction result,
+        // the write+reduce idiom) delivers at the same LCA-derived
+        // rate as the FIFO and cannot starve it.
+        std::vector<int32_t> frontier = {w.block.v};
+        std::set<int32_t> seen = {w.block.v};
+        while (!frontier.empty()) {
+            int32_t cur = frontier.back();
+            frontier.pop_back();
+            auto it = adj.find(cur);
+            if (it == adj.end())
+                continue;
+            for (auto [next, via] : it->second) {
+                if (via == t.v)
+                    continue; // Only paths besides t itself count.
+                if (next == r.block.v) {
+                    if (cur != w.block.v)
+                        return true;
+                    continue; // Direct edge; never traverse through R.
+                }
+                if (seen.insert(next).second)
+                    frontier.push_back(next);
+            }
+        }
+        return false;
+    }
+
     bool
     qualifiesFifoLower(const TensorAccess &ta) const
     {
@@ -223,7 +293,9 @@ struct Lowerer
         if (branchOrWhileBetween(lca, w.block) ||
             branchOrWhileBetween(lca, r.block))
             return false;
-        return lockStepStreams(w, r, lca);
+        if (!lockStepStreams(w, r, lca))
+            return false;
+        return !reconvergentPath(w, r, ta.tensor);
     }
 
     /** Writer-covers-reader span check for multibuffering. */

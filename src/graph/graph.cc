@@ -1,0 +1,402 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/logging.h"
+
+namespace sara::graph {
+
+const char *
+nodeKindName(NodeKind k)
+{
+    switch (k) {
+      case NodeKind::Input: return "input";
+      case NodeKind::Matmul: return "matmul";
+      case NodeKind::Conv: return "conv";
+      case NodeKind::Elementwise: return "elementwise";
+      case NodeKind::Reduce: return "reduce";
+      case NodeKind::Softmax: return "softmax";
+      case NodeKind::Attention: return "attention";
+    }
+    return "?";
+}
+
+const char *
+ewOpName(EwOp op)
+{
+    switch (op) {
+      case EwOp::Add: return "add";
+      case EwOp::Mul: return "mul";
+      case EwOp::Relu: return "relu";
+      case EwOp::Gelu: return "gelu";
+    }
+    return "?";
+}
+
+const char *
+redOpName(RedOp op)
+{
+    switch (op) {
+      case RedOp::Add: return "add";
+      case RedOp::Max: return "max";
+    }
+    return "?";
+}
+
+int64_t
+Shape::elems() const
+{
+    int64_t n = 1;
+    for (int64_t d : dims)
+        n *= d;
+    return dims.empty() ? 0 : n;
+}
+
+std::string
+Shape::str() const
+{
+    std::string s = "[";
+    for (size_t i = 0; i < dims.size(); ++i) {
+        if (i)
+            s += ", ";
+        s += std::to_string(dims[i]);
+    }
+    return s + "]";
+}
+
+const Node *
+LayerGraph::find(const std::string &name) const
+{
+    for (const auto &n : nodes)
+        if (n.name == name)
+            return &n;
+    return nullptr;
+}
+
+std::string
+LayerGraph::summary() const
+{
+    std::map<std::string, int> byKind;
+    int layers = 0;
+    for (const auto &n : nodes) {
+        if (!n.isCompute())
+            continue;
+        ++layers;
+        ++byKind[nodeKindName(n.kind)];
+    }
+    std::string s = name + ": " + std::to_string(layers) + " layers (";
+    bool first = true;
+    for (const auto &[kind, count] : byKind) {
+        if (!first)
+            s += ", ";
+        first = false;
+        s += std::to_string(count) + " " + kind;
+    }
+    return s + ")";
+}
+
+namespace {
+
+/** Diagnostic prefix: "file:line:col: node 'x'" when the node carries
+ *  a JSON source location, "graph 'g': node 'x'" for builder graphs. */
+std::string
+where(const LayerGraph &g, const Node &n)
+{
+    if (n.loc.valid())
+        return (g.source.empty() ? std::string("<graph>") : g.source) +
+               ":" + std::to_string(n.loc.line) + ":" +
+               std::to_string(n.loc.col) + ": node '" + n.name + "'";
+    return "graph '" + g.name + "': node '" + n.name + "'";
+}
+
+/** Per-kind shape inference + parameter checks. Inputs are already
+ *  shape-checked (positive dims) by the front doors. */
+void
+inferShape(const LayerGraph &g, Node &n,
+           const std::vector<const Node *> &ins)
+{
+    auto fail = [&](const std::string &msg) {
+        fatal(where(g, n), " (", nodeKindName(n.kind), "): ", msg);
+    };
+    switch (n.kind) {
+      case NodeKind::Input:
+        break;
+      case NodeKind::Matmul: {
+        const Shape &x = ins[0]->shape;
+        if (x.rank() != 1 && x.rank() != 2)
+            fail("input must be rank 1 or 2, got " + x.str());
+        if (n.features <= 0)
+            fail("'features' must be positive, got " +
+                 std::to_string(n.features));
+        if (x.rank() == 1)
+            n.shape.dims = {n.features};
+        else
+            n.shape.dims = {x.dims[0], n.features};
+        break;
+      }
+      case NodeKind::Conv: {
+        const Shape &x = ins[0]->shape;
+        if (x.rank() != 3)
+            fail("input must be rank 3 [C, H, W], got " + x.str());
+        if (n.channels <= 0)
+            fail("'channels' must be positive");
+        if (n.kernel <= 0 || n.pad < 0)
+            fail("'kernel' must be positive and 'pad' non-negative");
+        int64_t ho = x.dims[1] + 2 * n.pad - n.kernel + 1;
+        int64_t wo = x.dims[2] + 2 * n.pad - n.kernel + 1;
+        if (ho <= 0 || wo <= 0)
+            fail("kernel " + std::to_string(n.kernel) + " with pad " +
+                 std::to_string(n.pad) + " does not fit input " +
+                 x.str());
+        n.shape.dims = {n.channels, ho, wo};
+        break;
+      }
+      case NodeKind::Elementwise: {
+        bool binary = n.ewOp == EwOp::Add || n.ewOp == EwOp::Mul;
+        if (binary != (ins.size() == 2))
+            fail(std::string("'") + ewOpName(n.ewOp) + "' takes " +
+                 (binary ? "two inputs" : "one input") + ", got " +
+                 std::to_string(ins.size()));
+        if (binary && !(ins[0]->shape == ins[1]->shape))
+            fail("input shapes " + ins[0]->shape.str() + " ('" +
+                 ins[0]->name + "') and " + ins[1]->shape.str() +
+                 " ('" + ins[1]->name + "') differ");
+        n.shape = ins[0]->shape;
+        break;
+      }
+      case NodeKind::Reduce: {
+        const Shape &x = ins[0]->shape;
+        if (x.rank() < 1)
+            fail("input must have rank >= 1");
+        n.shape.dims.assign(x.dims.begin(), x.dims.end() - 1);
+        if (n.shape.dims.empty())
+            n.shape.dims = {1};
+        break;
+      }
+      case NodeKind::Softmax: {
+        if (ins[0]->shape.rank() < 1)
+            fail("input must have rank >= 1");
+        n.shape = ins[0]->shape;
+        break;
+      }
+      case NodeKind::Attention: {
+        const Shape &x = ins[0]->shape;
+        if (x.rank() != 2)
+            fail("input must be rank 2 [T, D], got " + x.str());
+        n.shape = x;
+        break;
+      }
+    }
+}
+
+} // namespace
+
+std::vector<size_t>
+validate(LayerGraph &g)
+{
+    if (g.name.empty())
+        fatal("graph has no name");
+    if (g.nodes.empty())
+        fatal("graph '", g.name, "' has no nodes");
+    if (g.outputs.empty())
+        fatal("graph '", g.name, "' declares no outputs");
+
+    // Names are unique and references resolve.
+    std::map<std::string, size_t> byName;
+    for (size_t i = 0; i < g.nodes.size(); ++i) {
+        const Node &n = g.nodes[i];
+        if (n.name.empty())
+            fatal("graph '", g.name, "': node ", i, " has no name");
+        if (!byName.emplace(n.name, i).second)
+            fatal(where(g, n), ": duplicate node name");
+        if (n.par < 0)
+            fatal(where(g, n), ": 'par' must be non-negative");
+        if (n.kind == NodeKind::Input) {
+            if (!n.inputs.empty())
+                fatal(where(g, n), ": inputs cannot have producers");
+            if (n.shape.dims.empty())
+                fatal(where(g, n), ": input declares no shape");
+            for (int64_t d : n.shape.dims)
+                if (d <= 0)
+                    fatal(where(g, n), ": shape ", n.shape.str(),
+                          " has a non-positive dimension");
+        } else if (n.inputs.empty()) {
+            fatal(where(g, n), ": compute node has no inputs");
+        }
+    }
+    for (const Node &n : g.nodes)
+        for (const std::string &in : n.inputs)
+            if (!byName.count(in))
+                fatal(where(g, n), ": unknown input '", in, "'");
+    for (const std::string &out : g.outputs)
+        if (!byName.count(out))
+            fatal("graph '", g.name, "': unknown output '", out, "'");
+
+    // Kahn topological sort, declaration order as the tie-break; any
+    // leftover node sits on a cycle.
+    std::vector<int> pending(g.nodes.size(), 0);
+    std::vector<std::vector<size_t>> consumers(g.nodes.size());
+    for (size_t i = 0; i < g.nodes.size(); ++i) {
+        pending[i] = static_cast<int>(g.nodes[i].inputs.size());
+        for (const std::string &in : g.nodes[i].inputs)
+            consumers[byName[in]].push_back(i);
+    }
+    std::vector<size_t> order, ready;
+    for (size_t i = 0; i < g.nodes.size(); ++i)
+        if (pending[i] == 0)
+            ready.push_back(i);
+    while (!ready.empty()) {
+        // Lowest declaration index first: deterministic lowering.
+        auto it = std::min_element(ready.begin(), ready.end());
+        size_t i = *it;
+        ready.erase(it);
+        order.push_back(i);
+        for (size_t c : consumers[i])
+            if (--pending[c] == 0)
+                ready.push_back(c);
+    }
+    if (order.size() != g.nodes.size()) {
+        for (size_t i = 0; i < g.nodes.size(); ++i)
+            if (pending[i] > 0)
+                fatal(where(g, g.nodes[i]),
+                      ": graph contains a cycle through this node");
+    }
+
+    // Shape inference in topological order.
+    for (size_t i : order) {
+        Node &n = g.nodes[i];
+        std::vector<const Node *> ins;
+        for (const std::string &in : n.inputs)
+            ins.push_back(&g.nodes[byName[in]]);
+        inferShape(g, n, ins);
+    }
+    return order;
+}
+
+// ---------------------------------------------------------------------------
+// GraphBuilder
+// ---------------------------------------------------------------------------
+
+GraphBuilder::GraphBuilder(std::string name)
+{
+    g_.name = std::move(name);
+}
+
+Node &
+GraphBuilder::addNode(const std::string &name, NodeKind kind,
+                      std::vector<std::string> inputs)
+{
+    Node n;
+    n.name = name;
+    n.kind = kind;
+    n.inputs = std::move(inputs);
+    g_.nodes.push_back(std::move(n));
+    return g_.nodes.back();
+}
+
+GraphBuilder &
+GraphBuilder::input(const std::string &name, std::vector<int64_t> shape)
+{
+    addNode(name, NodeKind::Input, {}).shape.dims = std::move(shape);
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::matmul(const std::string &name, const std::string &in,
+                     int64_t features, int par)
+{
+    Node &n = addNode(name, NodeKind::Matmul, {in});
+    n.features = features;
+    n.par = par;
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::conv(const std::string &name, const std::string &in,
+                   int64_t channels, int64_t kernel, int64_t pad, int par)
+{
+    Node &n = addNode(name, NodeKind::Conv, {in});
+    n.channels = channels;
+    n.kernel = kernel;
+    n.pad = pad;
+    n.par = par;
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::elementwise(const std::string &name, EwOp op,
+                          const std::string &a, const std::string &b,
+                          int par)
+{
+    std::vector<std::string> ins = {a};
+    if (!b.empty())
+        ins.push_back(b);
+    Node &n = addNode(name, NodeKind::Elementwise, std::move(ins));
+    n.ewOp = op;
+    n.par = par;
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::relu(const std::string &name, const std::string &in, int par)
+{
+    return elementwise(name, EwOp::Relu, in, "", par);
+}
+
+GraphBuilder &
+GraphBuilder::gelu(const std::string &name, const std::string &in, int par)
+{
+    return elementwise(name, EwOp::Gelu, in, "", par);
+}
+
+GraphBuilder &
+GraphBuilder::add(const std::string &name, const std::string &a,
+                  const std::string &b, int par)
+{
+    return elementwise(name, EwOp::Add, a, b, par);
+}
+
+GraphBuilder &
+GraphBuilder::reduce(const std::string &name, RedOp op,
+                     const std::string &in, int par)
+{
+    Node &n = addNode(name, NodeKind::Reduce, {in});
+    n.redOp = op;
+    n.par = par;
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::softmax(const std::string &name, const std::string &in,
+                      int par)
+{
+    Node &n = addNode(name, NodeKind::Softmax, {in});
+    n.par = par;
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::attention(const std::string &name, const std::string &in,
+                        int par)
+{
+    Node &n = addNode(name, NodeKind::Attention, {in});
+    n.par = par;
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::output(const std::string &name)
+{
+    g_.outputs.push_back(name);
+    return *this;
+}
+
+LayerGraph
+GraphBuilder::build()
+{
+    validate(g_);
+    return std::move(g_);
+}
+
+} // namespace sara::graph

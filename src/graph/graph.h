@@ -1,0 +1,175 @@
+#ifndef SARA_GRAPH_GRAPH_H
+#define SARA_GRAPH_GRAPH_H
+
+/**
+ * @file
+ * The NN layer-graph frontend: a model is a small DAG of coarse layer
+ * nodes (matmul, conv, elementwise, reduce, softmax, attention) over
+ * logically-shaped tensors. Graphs come from two front doors — a JSON
+ * document (parsed with the strict parser in support/json) or the
+ * GraphBuilder C++ API — and lower automatically into SARA IR (see
+ * graph/lower.h): every layer becomes a tiled loop nest with the
+ * standard inner-vectorize/outer-unroll par split, inter-layer
+ * activations stream through on-chip buffers the compiler
+ * FIFO-lowers, and weights/inputs get DRAM staging loops.
+ *
+ * Validation is strict and source-located: shape/type mismatches and
+ * cycles are rejected with `file:line:col: node 'x': ...` diagnostics
+ * when the graph came from JSON.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sara::graph {
+
+/** Layer kinds. Input is the implicit source kind for declared graph
+ *  inputs; the other six are the compute vocabulary of sara-graph/v1. */
+enum class NodeKind : uint8_t {
+    Input,
+    Matmul,
+    Conv,
+    Elementwise,
+    Reduce,
+    Softmax,
+    Attention,
+};
+
+const char *nodeKindName(NodeKind k);
+
+/** Elementwise micro-ops: add/mul are binary, relu/gelu unary. */
+enum class EwOp : uint8_t { Add, Mul, Relu, Gelu };
+
+/** Reduction micro-ops (over the last axis). */
+enum class RedOp : uint8_t { Add, Max };
+
+const char *ewOpName(EwOp op);
+const char *redOpName(RedOp op);
+
+/** A logical tensor shape (row-major; lowering flattens to 1-D). */
+struct Shape
+{
+    std::vector<int64_t> dims;
+
+    int64_t elems() const;
+    size_t rank() const { return dims.size(); }
+    std::string str() const; ///< "[4, 8, 8]"
+    bool operator==(const Shape &o) const { return dims == o.dims; }
+};
+
+/** Source location of a node in its JSON document (builder graphs
+ *  leave it invalid and diagnostics fall back to the graph name). */
+struct SrcLoc
+{
+    int line = 0;
+    int col = 0;
+    bool valid() const { return line > 0; }
+};
+
+/** One layer node. Parameter fields are kind-specific. */
+struct Node
+{
+    std::string name;
+    NodeKind kind = NodeKind::Input;
+    std::vector<std::string> inputs; ///< Producer node names.
+
+    Shape shape;        ///< Input: declared. Others: inferred (validate).
+    int64_t features = 0;    ///< Matmul: output features N.
+    int64_t channels = 0;    ///< Conv: output channels K.
+    int64_t kernel = 3;      ///< Conv: square kernel size.
+    int64_t pad = 1;         ///< Conv: symmetric zero padding.
+    EwOp ewOp = EwOp::Relu;  ///< Elementwise micro-op.
+    RedOp redOp = RedOp::Add; ///< Reduce micro-op.
+    int par = 0;             ///< Par-factor hint; 0 = inherit global.
+
+    SrcLoc loc;
+
+    bool isCompute() const { return kind != NodeKind::Input; }
+};
+
+/** A whole model graph. */
+struct LayerGraph
+{
+    std::string name;
+    std::string source; ///< Diagnostic prefix ("mlp.graph.json" or "").
+    std::vector<Node> nodes; ///< Declaration order; inputs included.
+    std::vector<std::string> outputs; ///< Names of nodes stored to DRAM.
+
+    const Node *find(const std::string &name) const;
+    /** "mlp: 6 layers (3 matmul, 2 elementwise, 1 softmax)" */
+    std::string summary() const;
+};
+
+/**
+ * Validate `g` and infer every node's shape in place: names unique,
+ * input references resolve, the graph is acyclic, per-kind shape and
+ * parameter rules hold, and every declared output exists. Returns the
+ * node indices in a deterministic topological order (Kahn's algorithm,
+ * declaration order as the tie-break). fatal()s with a source-located
+ * diagnostic on the first violation.
+ */
+std::vector<size_t> validate(LayerGraph &g);
+
+/**
+ * Fluent construction API, mirroring the JSON vocabulary:
+ *
+ *   GraphBuilder b("mlp");
+ *   b.input("x", {4, 64});
+ *   b.matmul("fc1", "x", 64).relu("act1", "fc1");
+ *   b.output("act1");
+ *   LayerGraph g = b.build();   // validates
+ */
+class GraphBuilder
+{
+  public:
+    explicit GraphBuilder(std::string name);
+
+    GraphBuilder &input(const std::string &name,
+                        std::vector<int64_t> shape);
+    GraphBuilder &matmul(const std::string &name, const std::string &in,
+                         int64_t features, int par = 0);
+    GraphBuilder &conv(const std::string &name, const std::string &in,
+                       int64_t channels, int64_t kernel = 3,
+                       int64_t pad = 1, int par = 0);
+    GraphBuilder &elementwise(const std::string &name, EwOp op,
+                              const std::string &a,
+                              const std::string &b = "", int par = 0);
+    GraphBuilder &relu(const std::string &name, const std::string &in,
+                       int par = 0);
+    GraphBuilder &gelu(const std::string &name, const std::string &in,
+                       int par = 0);
+    GraphBuilder &add(const std::string &name, const std::string &a,
+                      const std::string &b, int par = 0);
+    GraphBuilder &reduce(const std::string &name, RedOp op,
+                         const std::string &in, int par = 0);
+    GraphBuilder &softmax(const std::string &name, const std::string &in,
+                          int par = 0);
+    GraphBuilder &attention(const std::string &name,
+                            const std::string &in, int par = 0);
+    GraphBuilder &output(const std::string &name);
+
+    /** Validate and hand the graph over. */
+    LayerGraph build();
+
+  private:
+    Node &addNode(const std::string &name, NodeKind kind,
+                  std::vector<std::string> inputs);
+
+    LayerGraph g_;
+};
+
+/**
+ * Parse a sara-graph/v1 JSON document. `source` seeds diagnostics
+ * (usually the file name). fatal()s on malformed JSON (parser
+ * line:column), schema violations, and anything validate() rejects.
+ */
+LayerGraph parseGraphJson(const std::string &text,
+                          const std::string &source = "<graph>");
+
+/** Read and parse a graph file. fatal()s if unreadable. */
+LayerGraph loadGraphFile(const std::string &path);
+
+} // namespace sara::graph
+
+#endif // SARA_GRAPH_GRAPH_H

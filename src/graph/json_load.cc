@@ -1,0 +1,283 @@
+/**
+ * @file
+ * JSON front door of the graph frontend (schema sara-graph/v1, see
+ * schemas/sara-graph.v1.json):
+ *
+ *   { "schema": "sara-graph/v1", "name": "mlp",
+ *     "inputs": [ { "name": "x", "shape": [4, 64] } ],
+ *     "nodes": [
+ *       { "name": "fc1", "kind": "matmul", "input": "x",
+ *         "features": 64, "par": 32 },
+ *       { "name": "act1", "kind": "elementwise", "op": "relu",
+ *         "input": "fc1" } ],
+ *     "outputs": [ "act1" ] }
+ *
+ * Unary nodes take "input"; binary elementwise (add/mul) takes
+ * "inputs": [a, b]. Every schema violation is reported with the
+ * offending value's line:column (the strict parser records byte
+ * offsets), so a shape typo in a 40-line model file points at the
+ * line, not at "somewhere in the graph".
+ */
+
+#include <cstdio>
+
+#include "graph/graph.h"
+#include "support/json.h"
+#include "support/logging.h"
+
+namespace sara::graph {
+
+namespace {
+
+struct Loader
+{
+    const std::string &text;
+    std::string source;
+
+    [[noreturn]] void
+    fail(const json::Value &v, const std::string &msg) const
+    {
+        auto [line, col] = json::lineCol(text, v.offset);
+        fatal(source, ":", line, ":", col, ": ", msg);
+    }
+
+    SrcLoc
+    loc(const json::Value &v) const
+    {
+        auto [line, col] = json::lineCol(text, v.offset);
+        return SrcLoc{line, col};
+    }
+
+    std::string
+    str(const json::Value &obj, const std::string &key) const
+    {
+        const json::Value *v = obj.find(key);
+        if (!v)
+            fail(obj, "missing \"" + key + "\"");
+        if (!v->isString())
+            fail(*v, "\"" + key + "\" must be a string");
+        return v->str;
+    }
+
+    int64_t
+    integer(const json::Value &v, const std::string &key) const
+    {
+        if (!v.isNumber() || v.num != static_cast<int64_t>(v.num))
+            fail(v, "\"" + key + "\" must be an integer");
+        return static_cast<int64_t>(v.num);
+    }
+
+    std::vector<int64_t>
+    shape(const json::Value &obj) const
+    {
+        const json::Value *v = obj.find("shape");
+        if (!v)
+            fail(obj, "missing \"shape\"");
+        if (!v->isArray() || v->arr.empty())
+            fail(*v, "\"shape\" must be a non-empty array");
+        std::vector<int64_t> dims;
+        for (const auto &d : v->arr) {
+            int64_t dim = integer(d, "shape");
+            if (dim <= 0)
+                fail(d, "shape dimensions must be positive");
+            dims.push_back(dim);
+        }
+        return dims;
+    }
+
+    /** "input": "x" (unary) or "inputs": ["a", "b"]. */
+    std::vector<std::string>
+    nodeInputs(const json::Value &obj) const
+    {
+        const json::Value *one = obj.find("input");
+        const json::Value *many = obj.find("inputs");
+        if (one && many)
+            fail(obj, "give either \"input\" or \"inputs\", not both");
+        if (one) {
+            if (!one->isString())
+                fail(*one, "\"input\" must be a node name");
+            return {one->str};
+        }
+        if (!many)
+            fail(obj, "missing \"input\" (or \"inputs\")");
+        if (!many->isArray() || many->arr.empty())
+            fail(*many, "\"inputs\" must be a non-empty array");
+        std::vector<std::string> names;
+        for (const auto &v : many->arr) {
+            if (!v.isString())
+                fail(v, "\"inputs\" entries must be node names");
+            names.push_back(v.str);
+        }
+        return names;
+    }
+
+    void
+    allowKeys(const json::Value &obj,
+              std::initializer_list<const char *> keys) const
+    {
+        for (const auto &[k, v] : obj.obj) {
+            bool ok = false;
+            for (const char *allowed : keys)
+                ok = ok || k == allowed;
+            if (!ok)
+                fail(v, "unknown key \"" + k + "\"");
+        }
+    }
+
+    Node
+    parseNode(const json::Value &v) const
+    {
+        if (!v.isObject())
+            fail(v, "node must be an object");
+        Node n;
+        n.loc = loc(v);
+        n.name = str(v, "name");
+        std::string kind = str(v, "kind");
+        n.inputs = nodeInputs(v);
+
+        if (const json::Value *par = v.find("par")) {
+            n.par = static_cast<int>(integer(*par, "par"));
+            if (n.par <= 0)
+                fail(*par, "\"par\" must be positive");
+        }
+
+        if (kind == "matmul") {
+            n.kind = NodeKind::Matmul;
+            allowKeys(v, {"name", "kind", "input", "inputs", "par",
+                          "features"});
+            const json::Value *f = v.find("features");
+            if (!f)
+                fail(v, "matmul needs \"features\"");
+            n.features = integer(*f, "features");
+        } else if (kind == "conv") {
+            n.kind = NodeKind::Conv;
+            allowKeys(v, {"name", "kind", "input", "inputs", "par",
+                          "channels", "kernel", "pad"});
+            const json::Value *c = v.find("channels");
+            if (!c)
+                fail(v, "conv needs \"channels\"");
+            n.channels = integer(*c, "channels");
+            if (const json::Value *k = v.find("kernel"))
+                n.kernel = integer(*k, "kernel");
+            if (const json::Value *p = v.find("pad"))
+                n.pad = integer(*p, "pad");
+        } else if (kind == "elementwise") {
+            n.kind = NodeKind::Elementwise;
+            allowKeys(v, {"name", "kind", "input", "inputs", "par",
+                          "op"});
+            std::string op = str(v, "op");
+            if (op == "add")
+                n.ewOp = EwOp::Add;
+            else if (op == "mul")
+                n.ewOp = EwOp::Mul;
+            else if (op == "relu")
+                n.ewOp = EwOp::Relu;
+            else if (op == "gelu")
+                n.ewOp = EwOp::Gelu;
+            else
+                fail(*v.find("op"), "unknown elementwise op \"" + op +
+                                        "\" (add, mul, relu, gelu)");
+        } else if (kind == "reduce") {
+            n.kind = NodeKind::Reduce;
+            allowKeys(v, {"name", "kind", "input", "inputs", "par",
+                          "op"});
+            std::string op = str(v, "op");
+            if (op == "add")
+                n.redOp = RedOp::Add;
+            else if (op == "max")
+                n.redOp = RedOp::Max;
+            else
+                fail(*v.find("op"),
+                     "unknown reduce op \"" + op + "\" (add, max)");
+        } else if (kind == "softmax") {
+            n.kind = NodeKind::Softmax;
+            allowKeys(v, {"name", "kind", "input", "inputs", "par"});
+        } else if (kind == "attention") {
+            n.kind = NodeKind::Attention;
+            allowKeys(v, {"name", "kind", "input", "inputs", "par"});
+        } else {
+            fail(*v.find("kind"),
+                 "unknown node kind \"" + kind +
+                     "\" (matmul, conv, elementwise, reduce, softmax, "
+                     "attention)");
+        }
+        return n;
+    }
+};
+
+} // namespace
+
+LayerGraph
+parseGraphJson(const std::string &text, const std::string &source)
+{
+    json::Value doc = json::parse(text);
+    Loader ld{text, source};
+    if (!doc.isObject())
+        ld.fail(doc, "graph document must be an object");
+    ld.allowKeys(doc, {"schema", "name", "inputs", "nodes", "outputs"});
+
+    std::string schema = ld.str(doc, "schema");
+    if (schema != "sara-graph/v1")
+        ld.fail(*doc.find("schema"),
+                "unsupported schema \"" + schema +
+                    "\" (want sara-graph/v1)");
+
+    LayerGraph g;
+    g.source = source;
+    g.name = ld.str(doc, "name");
+
+    const json::Value *inputs = doc.find("inputs");
+    if (!inputs || !inputs->isArray())
+        ld.fail(doc, "missing \"inputs\" array");
+    for (const auto &v : inputs->arr) {
+        if (!v.isObject())
+            ld.fail(v, "input must be an object");
+        ld.allowKeys(v, {"name", "shape"});
+        Node n;
+        n.loc = ld.loc(v);
+        n.kind = NodeKind::Input;
+        n.name = ld.str(v, "name");
+        n.shape.dims = ld.shape(v);
+        g.nodes.push_back(std::move(n));
+    }
+
+    const json::Value *nodes = doc.find("nodes");
+    if (!nodes || !nodes->isArray())
+        ld.fail(doc, "missing \"nodes\" array");
+    for (const auto &v : nodes->arr)
+        g.nodes.push_back(ld.parseNode(v));
+
+    const json::Value *outputs = doc.find("outputs");
+    if (!outputs || !outputs->isArray())
+        ld.fail(doc, "missing \"outputs\" array");
+    for (const auto &v : outputs->arr) {
+        if (!v.isString())
+            ld.fail(v, "outputs must be node names");
+        g.outputs.push_back(v.str);
+    }
+
+    validate(g);
+    return g;
+}
+
+LayerGraph
+loadGraphFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("cannot open graph file ", path);
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+
+    // Diagnostics use the basename: stable across build dirs.
+    size_t slash = path.find_last_of('/');
+    std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    return parseGraphJson(text, base);
+}
+
+} // namespace sara::graph

@@ -1,0 +1,83 @@
+#include "graph/models.h"
+
+namespace sara::graph {
+
+LayerGraph
+mlpGraph()
+{
+    GraphBuilder b("mlp_graph");
+    b.input("x", {4, 64});
+    b.matmul("fc1", "x", 64);
+    b.relu("act1", "fc1");
+    b.matmul("fc2", "act1", 32);
+    b.relu("act2", "fc2");
+    b.matmul("fc3", "act2", 16);
+    b.softmax("probs", "fc3");
+    b.output("probs");
+    return b.build();
+}
+
+LayerGraph
+transformerCellGraph()
+{
+    GraphBuilder b("transformer_cell");
+    b.input("x", {6, 16});
+    b.attention("attn", "x");
+    b.add("res1", "attn", "x");
+    b.matmul("ff1", "res1", 32);
+    b.gelu("act", "ff1");
+    b.matmul("ff2", "act", 16);
+    b.add("res2", "ff2", "res1");
+    b.output("res2");
+    return b.build();
+}
+
+LayerGraph
+resnetBlockGraph()
+{
+    GraphBuilder b("resnet_block");
+    b.input("x", {4, 8, 8});
+    b.conv("conv1", "x", 4, 3, 1);
+    b.relu("act1", "conv1");
+    b.conv("conv2", "act1", 4, 3, 1);
+    b.add("skip", "conv2", "x");
+    b.relu("act2", "skip");
+    b.reduce("pool_w", RedOp::Add, "act2");
+    b.reduce("pool_h", RedOp::Add, "pool_w");
+    b.output("pool_h");
+    return b.build();
+}
+
+namespace {
+
+workloads::Workload
+lowerFor(LayerGraph g, const workloads::WorkloadConfig &cfg)
+{
+    LowerOptions o;
+    o.par = cfg.par;
+    o.scale = cfg.scale;
+    o.seed = cfg.seed;
+    return lowerGraph(g, o).workload;
+}
+
+} // namespace
+
+workloads::Workload
+buildMlpGraph(const workloads::WorkloadConfig &cfg)
+{
+    return lowerFor(mlpGraph(), cfg);
+}
+
+workloads::Workload
+buildTransformerCell(const workloads::WorkloadConfig &cfg)
+{
+    return lowerFor(transformerCellGraph(), cfg);
+}
+
+workloads::Workload
+buildResnetBlock(const workloads::WorkloadConfig &cfg)
+{
+    return lowerFor(resnetBlockGraph(), cfg);
+}
+
+} // namespace sara::graph

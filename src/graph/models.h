@@ -1,0 +1,41 @@
+#ifndef SARA_GRAPH_MODELS_H
+#define SARA_GRAPH_MODELS_H
+
+/**
+ * @file
+ * The shipped example models, built with GraphBuilder. Each one also
+ * exists as a JSON document under examples/ (kept byte-for-byte
+ * equivalent by test_graph's builder-vs-JSON check) and is registered
+ * in the workload registry as `mlp_graph`, `transformer_cell`, and
+ * `resnet_block`, so the graph frontend flows through every consumer
+ * of buildByName: sarac, sarad, fault injection, and the benches.
+ */
+
+#include "graph/graph.h"
+#include "graph/lower.h"
+
+namespace sara::graph {
+
+/** 3-layer perceptron with a softmax head: batch [4, 64] ->
+ *  matmul(64)/relu -> matmul(32)/relu -> matmul(16) -> softmax. */
+LayerGraph mlpGraph();
+
+/** One transformer cell: tokens [6, 16] -> self-attention ->
+ *  +residual -> matmul(32)/gelu -> matmul(16) -> +residual. */
+LayerGraph transformerCellGraph();
+
+/** One residual conv block: image [4, 8, 8] -> conv(4,3x3,pad 1)/relu
+ *  -> conv(4,3x3,pad 1) -> +skip -> relu -> global pool (reduce x2). */
+LayerGraph resnetBlockGraph();
+
+/** Registry adapters (workload names mlp_graph / transformer_cell /
+ *  resnet_block): lower the example graphs at the given config. */
+workloads::Workload buildMlpGraph(const workloads::WorkloadConfig &cfg);
+workloads::Workload
+buildTransformerCell(const workloads::WorkloadConfig &cfg);
+workloads::Workload
+buildResnetBlock(const workloads::WorkloadConfig &cfg);
+
+} // namespace sara::graph
+
+#endif // SARA_GRAPH_MODELS_H

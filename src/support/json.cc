@@ -432,6 +432,7 @@ struct Parser
     {
         Value v;
         char c = peek();
+        v.offset = static_cast<size_t>(p - begin);
         if (c == '{') {
             if (++depth > kMaxDepth)
                 fail("nesting deeper than " +
@@ -499,6 +500,23 @@ parse(const std::string &text)
     if (parser.p != parser.end)
         parser.fail("trailing garbage after document");
     return v;
+}
+
+std::pair<int, int>
+lineCol(const std::string &text, size_t offset)
+{
+    if (offset > text.size())
+        offset = text.size();
+    int line = 1, col = 1;
+    for (size_t i = 0; i < offset; ++i) {
+        if (text[i] == '\n') {
+            ++line;
+            col = 1;
+        } else {
+            ++col;
+        }
+    }
+    return {line, col};
 }
 
 } // namespace sara::json

@@ -72,7 +72,7 @@ class Writer
     bool afterKey_ = false;
 };
 
-/** Parsed JSON value (tests / schema checks only). */
+/** Parsed JSON value (tests, schema checks, and the graph frontend). */
 struct Value
 {
     enum class Kind { Null, Bool, Number, String, Array, Object };
@@ -83,6 +83,14 @@ struct Value
     std::string str;
     std::vector<Value> arr;
     std::vector<std::pair<std::string, Value>> obj; ///< Insertion order.
+
+    /**
+     * Byte offset of this value's first character in the parsed text.
+     * Consumers that keep the source around (the graph loader) can turn
+     * it into a line:column with lineCol() for diagnostics; computing
+     * positions lazily keeps the parse itself O(n).
+     */
+    size_t offset = 0;
 
     bool isObject() const { return kind == Kind::Object; }
     bool isArray() const { return kind == Kind::Array; }
@@ -106,6 +114,12 @@ struct Value
  * parser's stack.
  */
 Value parse(const std::string &text);
+
+/**
+ * 1-based {line, column} of byte `offset` in `text` (clamped to the
+ * end). Pairs with Value::offset for post-parse diagnostics.
+ */
+std::pair<int, int> lineCol(const std::string &text, size_t offset);
 
 } // namespace sara::json
 

@@ -1,44 +1,117 @@
+/**
+ * @file
+ * The workload registry: one table mapping names to builders, shared
+ * by everything that resolves a workload by name (sarac, sarad, the
+ * batch runner, fault campaigns, benches). The table carries both the
+ * hand-built Table IV suite and the graph-frontend example models, so
+ * a graph workload is a first-class citizen everywhere.
+ *
+ * The original 12 names stay the "suite" (workloadNames) — golden
+ * bench row sets and the fig7/fig9 sweeps are keyed to it — while
+ * graphWorkloadNames()/allWorkloadNames() expose the frontend models.
+ */
+
 #include "workloads/workload.h"
 
+#include <set>
+
+#include "graph/models.h"
 #include "support/logging.h"
 
 namespace sara::workloads {
 
+namespace {
+
+struct Entry
+{
+    const char *name;
+    Workload (*build)(const WorkloadConfig &);
+    bool graph; ///< Built through the layer-graph frontend.
+};
+
+const Entry kRegistry[] = {
+    {"mlp", buildMlp, false},
+    {"lstm", buildLstm, false},
+    {"snet", buildSnet, false},
+    {"pr", buildPr, false},
+    {"bs", buildBs, false},
+    {"sort", buildSort, false},
+    {"rf", buildRf, false},
+    {"ms", buildMs, false},
+    {"kmeans", buildKmeans, false},
+    {"gda", buildGda, false},
+    {"logreg", buildLogreg, false},
+    {"sgd", buildSgd, false},
+    {"mlp_graph", graph::buildMlpGraph, true},
+    {"transformer_cell", graph::buildTransformerCell, true},
+    {"resnet_block", graph::buildResnetBlock, true},
+};
+
+/** A duplicate name would make lookups silently order-dependent;
+ *  fail fast the first time the registry is consulted. */
+void
+checkUnique()
+{
+    static const bool ok = [] {
+        std::set<std::string> seen;
+        for (const Entry &e : kRegistry)
+            if (!seen.insert(e.name).second)
+                fatal("workload registry: duplicate name '", e.name,
+                      "'");
+        return true;
+    }();
+    (void)ok;
+}
+
+} // namespace
+
 Workload
 buildByName(const std::string &name, const WorkloadConfig &cfg)
 {
-    if (name == "mlp")
-        return buildMlp(cfg);
-    if (name == "lstm")
-        return buildLstm(cfg);
-    if (name == "snet")
-        return buildSnet(cfg);
-    if (name == "pr")
-        return buildPr(cfg);
-    if (name == "bs")
-        return buildBs(cfg);
-    if (name == "sort")
-        return buildSort(cfg);
-    if (name == "rf")
-        return buildRf(cfg);
-    if (name == "ms")
-        return buildMs(cfg);
-    if (name == "kmeans")
-        return buildKmeans(cfg);
-    if (name == "gda")
-        return buildGda(cfg);
-    if (name == "logreg")
-        return buildLogreg(cfg);
-    if (name == "sgd")
-        return buildSgd(cfg);
-    fatal("unknown workload '", name, "'");
+    checkUnique();
+    for (const Entry &e : kRegistry)
+        if (name == e.name)
+            return e.build(cfg);
+
+    std::string known;
+    for (const Entry &e : kRegistry) {
+        if (!known.empty())
+            known += ", ";
+        known += e.name;
+    }
+    fatal("unknown workload '", name, "' (valid: ", known, ")");
 }
 
 std::vector<std::string>
 workloadNames()
 {
-    return {"mlp", "lstm", "snet", "pr",     "bs",  "sort",
-            "rf",  "ms",   "kmeans", "gda", "logreg", "sgd"};
+    checkUnique();
+    std::vector<std::string> names;
+    for (const Entry &e : kRegistry)
+        if (!e.graph)
+            names.push_back(e.name);
+    return names;
+}
+
+std::vector<std::string>
+graphWorkloadNames()
+{
+    checkUnique();
+    std::vector<std::string> names;
+    for (const Entry &e : kRegistry)
+        if (e.graph)
+            names.push_back(e.name);
+    return names;
+}
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    checkUnique();
+    std::vector<std::string> names;
+    for (const Entry &e : kRegistry)
+        names.push_back(e.name);
+    return names;
 }
 
 } // namespace sara::workloads

@@ -61,11 +61,19 @@ Workload buildGda(const WorkloadConfig &cfg);
 Workload buildLogreg(const WorkloadConfig &cfg);
 Workload buildSgd(const WorkloadConfig &cfg);
 
-/** Lookup by name; fatal() on unknown names. */
+/** Lookup by name (hand-built suite + graph-frontend models);
+ *  fatal() on unknown names, listing the valid ones. */
 Workload buildByName(const std::string &name, const WorkloadConfig &cfg);
 
-/** All workload names in the canonical order. */
+/** The hand-built Table IV suite names in the canonical order (the
+ *  set golden bench rows and the paper-figure sweeps are keyed to). */
 std::vector<std::string> workloadNames();
+
+/** The layer-graph frontend example models (src/graph/models.h). */
+std::vector<std::string> graphWorkloadNames();
+
+/** Suite + graph models: everything buildByName accepts. */
+std::vector<std::string> allWorkloadNames();
 
 } // namespace sara::workloads
 

@@ -98,6 +98,36 @@ TEST(Cli, UnknownWorkloadExitsNonzero)
     auto r = runSarac("not-a-workload");
     EXPECT_EQ(r.exitCode, 3) << r.output;
     EXPECT_NE(r.output.find("unknown workload"), std::string::npos);
+    // The error names the valid choices, graph models included.
+    EXPECT_NE(r.output.find("valid:"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("mlp_graph"), std::string::npos)
+        << r.output;
+}
+
+TEST(Cli, GraphFileCompilesAndVerifies)
+{
+    auto r = runSarac(std::string("--graph ") + EXAMPLES_DIR +
+                      "/mlp.graph.json --check");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("model mlp_graph"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("fc1"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("verification: PASS"), std::string::npos)
+        << r.output;
+}
+
+TEST(Cli, GraphFileWithSyntaxErrorExitsThree)
+{
+    TempDir dir("sara_cli_badgraph");
+    fs::path bad = dir.path / "bad.graph.json";
+    std::FILE *f = std::fopen(bad.string().c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"schema\": \"sara-graph/v1\", \"name\": \"g\"}\n", f);
+    std::fclose(f);
+    auto r = runSarac("--graph " + bad.string());
+    EXPECT_EQ(r.exitCode, 3) << r.output;
+    EXPECT_NE(r.output.find("bad.graph.json"), std::string::npos)
+        << r.output;
 }
 
 TEST(Cli, ExhaustedCycleBudgetExitsNonzero)

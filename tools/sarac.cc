@@ -8,10 +8,17 @@
  *
  * Usage:
  *   sarac <workload> [options]
+ *   sarac --graph FILE [options]             (NN layer-graph frontend)
  *   sarac --batch [workload ...] [options]   (default: all workloads)
  *   sarac --list
  *
  * Options:
+ *   --graph FILE       compile a sara-graph/v1 model description (see
+ *                      examples/*.graph.json) instead of a built-in
+ *                      workload: the layer graph is validated, lowered
+ *                      to IR (a per-layer table shows the par splits),
+ *                      and then flows through the same compile /
+ *                      simulate / verify pipeline
  *   --par N            parallelization factor (default 16)
  *   --scale N          problem-size multiplier (default 1)
  *   --dram hbm2|ddr3   DRAM technology (default hbm2)
@@ -86,6 +93,8 @@
 
 #include "artifact/cache.h"
 #include "fault/failure.h"
+#include "graph/graph.h"
+#include "graph/lower.h"
 #include "jobs/jobs.h"
 #include "runtime/run.h"
 #include "support/counters.h"
@@ -114,6 +123,7 @@ usage()
                  "             [--inject SPEC ...] [--inject-seed N] "
                  "[--hang-diagnosis] [--retries N]\n"
                  "             [--metrics]\n"
+                 "       sarac --graph FILE [common options]\n"
                  "       sarac --batch [workload ...] [-j N] "
                  "[common options]\n"
                  "       sarac --list\n"
@@ -125,6 +135,7 @@ usage()
 struct CliOptions
 {
     std::vector<std::string> names; ///< Positional workload names.
+    std::string graphFile;          ///< --graph model description.
     workloads::WorkloadConfig cfg;
     runtime::RunConfig rc;
     bool batch = false;
@@ -278,7 +289,26 @@ printReport(const workloads::Workload &w, const CliOptions &cli,
 int
 runSingle(CliOptions &cli)
 {
-    auto w = workloads::buildByName(cli.names[0], cli.cfg);
+    workloads::Workload w;
+    if (!cli.graphFile.empty()) {
+        graph::LayerGraph g = graph::loadGraphFile(cli.graphFile);
+        graph::LowerOptions o;
+        o.par = cli.cfg.par;
+        o.scale = cli.cfg.scale;
+        o.seed = cli.cfg.seed;
+        graph::LowerResult lowered = graph::lowerGraph(g, o);
+        std::printf("model %s\n", g.summary().c_str());
+        Table t({"layer", "kind", "in", "out", "par", "split"});
+        for (const auto &l : lowered.layers)
+            t.addRow({l.name, l.kind, l.in.str(), l.out.str(),
+                      std::to_string(l.par),
+                      std::to_string(l.split.outer) + "x" +
+                          std::to_string(l.split.inner)});
+        std::printf("%s", t.str().c_str());
+        w = std::move(lowered.workload);
+    } else {
+        w = workloads::buildByName(cli.names[0], cli.cfg);
+    }
 
     std::unique_ptr<artifact::ArtifactCache> cache;
     std::unique_ptr<artifact::CachingCompiler> compiler;
@@ -490,9 +520,11 @@ realMain(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--list") {
-            for (const auto &name : workloads::workloadNames())
+            for (const auto &name : workloads::allWorkloadNames())
                 std::printf("%s\n", name.c_str());
             return 0;
+        } else if (arg == "--graph") {
+            cli.graphFile = next();
         } else if (arg == "--batch") {
             cli.batch = true;
         } else if (arg == "-j") {
@@ -605,9 +637,12 @@ realMain(int argc, char **argv)
 
     int rc;
     if (cli.batch) {
+        if (!cli.graphFile.empty())
+            return usage(); // --graph is a single-run mode.
         rc = runBatch(cli);
     } else {
-        if (cli.names.size() != 1)
+        if (cli.graphFile.empty() ? cli.names.size() != 1
+                                  : !cli.names.empty())
             return usage();
         rc = runSingle(cli);
     }
