@@ -1,7 +1,10 @@
 #include "artifact/artifact.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
+#include <fcntl.h>
 #include <map>
 #include <unistd.h>
 
@@ -710,28 +713,90 @@ unpackArtifact(const std::string &bytes)
     return out;
 }
 
+namespace {
+
+/** write(2) the whole buffer, riding out EINTR/partial writes. */
+bool
+writeAll(int fd, const char *data, size_t size)
+{
+    size_t done = 0;
+    while (done < size) {
+        ssize_t n = ::write(fd, data + done, size - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        done += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/** fsync the directory containing `path` so a just-published rename
+ *  survives a crash (the rename itself is only durable once the
+ *  directory's metadata hits disk). Best-effort: some filesystems
+ *  refuse directory fsync; the data fsync already happened. */
+void
+syncParentDir(const std::string &path)
+{
+    std::string dir = ".";
+    if (size_t slash = path.rfind('/'); slash != std::string::npos)
+        dir = slash == 0 ? "/" : path.substr(0, slash);
+    int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd < 0)
+        return;
+    ::fsync(dfd);
+    ::close(dfd);
+}
+
+} // namespace
+
 void
 writeArtifactFile(const std::string &path, const std::string &key,
                   const compiler::CompileResult &r)
 {
     std::string bytes = packArtifact(key, r);
-    // Unique tmp name: concurrent writers of the same key must not
-    // interleave into one file; rename() makes the publish atomic.
-    std::string tmp =
-        path + ".tmp." + std::to_string(::getpid());
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (!f)
-        throw ArtifactError("artifact: cannot write " + tmp);
-    size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
-    bool ok = written == bytes.size() && std::fclose(f) == 0;
-    if (!ok) {
-        std::remove(tmp.c_str());
-        throw ArtifactError("artifact: short write to " + tmp);
+    writeArtifactBytes(path, bytes);
+}
+
+void
+writeArtifactBytes(const std::string &path, const std::string &bytes)
+{
+    // Crash-safe publish: write a uniquely-named temp file, fsync it,
+    // rename over the destination (atomic on POSIX), fsync the
+    // directory. A crash at any point leaves either the old entry, no
+    // entry plus a stale tmp the recovery scan removes, or the new
+    // entry — never a half-written file under the final name.
+    std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        throw ArtifactError("artifact: cannot write " + tmp + ": " +
+                            std::strerror(errno));
+    if (!writeAll(fd, bytes.data(), bytes.size())) {
+        int err = errno;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        throw ArtifactError("artifact: short write to " + tmp + ": " +
+                            std::strerror(err));
+    }
+    if (::fsync(fd) != 0) {
+        int err = errno;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        throw ArtifactError("artifact: fsync failed for " + tmp + ": " +
+                            std::strerror(err));
+    }
+    if (::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        throw ArtifactError("artifact: close failed for " + tmp);
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        throw ArtifactError("artifact: cannot rename into " + path);
+        int err = errno;
+        ::unlink(tmp.c_str());
+        throw ArtifactError("artifact: cannot rename into " + path +
+                            ": " + std::strerror(err));
     }
+    syncParentDir(path);
 }
 
 std::string

@@ -79,10 +79,18 @@ std::string packArtifact(const std::string &key,
 LoadedArtifact unpackArtifact(const std::string &bytes);
 
 /** File convenience wrappers. Reader throws ArtifactError on any I/O
- *  or integrity failure; writer replaces atomically (tmp + rename). */
+ *  or integrity failure; writer publishes crash-safely (unique temp +
+ *  fsync + atomic rename + directory fsync), so a crash mid-store can
+ *  never leave a half-written file under the final name. */
 void writeArtifactFile(const std::string &path, const std::string &key,
                        const compiler::CompileResult &r);
 LoadedArtifact readArtifactFile(const std::string &path);
+
+/** Crash-safe publish of pre-packed container bytes (the writer above
+ *  after packArtifact; exposed so the cache can inject disk faults
+ *  between pack and publish). Throws ArtifactError on any I/O error. */
+void writeArtifactBytes(const std::string &path,
+                        const std::string &bytes);
 
 /** Raw container bytes of an artifact file (no parse, no verify).
  *  Throws ArtifactError when the file cannot be opened. Exposed so the

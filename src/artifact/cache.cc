@@ -50,6 +50,23 @@ ArtifactCache::pathFor(const std::string &key) const
     return dir_ + "/" + key + ".sara";
 }
 
+std::string
+ArtifactCache::quarantinePathFor(const std::string &key) const
+{
+    return pathFor(key) + ".quarantine";
+}
+
+namespace {
+
+/** A writer's unpublished temp file (`<key>.sara.tmp.<pid>`). */
+bool
+isStaleTmp(const fs::path &p)
+{
+    return p.filename().string().find(".sara.tmp.") != std::string::npos;
+}
+
+} // namespace
+
 void
 ArtifactCache::noteOpen(const std::string &key)
 {
@@ -105,11 +122,18 @@ ArtifactCache::lookup(const std::string &key)
         debug("artifact cache hit: ", key);
         return std::move(art.result);
     } catch (const ArtifactError &err) {
-        warn("artifact cache: dropping corrupt entry ", path, " (",
-             err.what(), ")");
+        // Quarantine, don't delete: the corrupt bytes are the evidence
+        // (disk fault? torn write? format bug?) and must neither be
+        // served again nor silently destroyed.
+        std::string parked = quarantinePathFor(key);
+        warn("artifact cache: quarantining corrupt entry ", path,
+             " -> ", parked, " (", err.what(), ")");
         count("artifact.cache.corrupt");
+        count("artifact.cache.quarantined");
         count("artifact.cache.miss");
-        fs::remove(path, ec);
+        fs::rename(path, parked, ec);
+        if (ec)
+            fs::remove(path, ec); // Last resort: never serve it.
         return std::nullopt;
     }
 }
@@ -118,6 +142,31 @@ void
 ArtifactCache::store(const std::string &key,
                      const compiler::CompileResult &r)
 {
+    if (inj_ && inj_->diskEnospc(key)) {
+        // Disk full: the store fails cleanly. The caller still holds
+        // the freshly-compiled result, so this is a counted warning,
+        // never an error surfaced to the request.
+        warn("artifact cache: injected ENOSPC storing ", key);
+        count("artifact.cache.fault.enospc");
+        count("artifact.cache.store_failed");
+        return;
+    }
+    if (inj_ && inj_->diskShortWrite(key)) {
+        // Torn publish: deliberately bypass the atomic writer and drop
+        // a truncated container under the *final* name, modeling a
+        // filesystem that lied about durability. The entry must be
+        // caught by lookup validation or the recovery sweep.
+        std::string bytes = packArtifact(key, r);
+        bytes.resize(inj_->shortWriteKeep(key, bytes.size()));
+        std::FILE *f = std::fopen(pathFor(key).c_str(), "wb");
+        if (f) {
+            std::fwrite(bytes.data(), 1, bytes.size(), f);
+            std::fclose(f);
+        }
+        warn("artifact cache: injected short write storing ", key);
+        count("artifact.cache.fault.short_write");
+        return;
+    }
     try {
         writeArtifactFile(pathFor(key), key, r);
         count("artifact.cache.store");
@@ -195,12 +244,78 @@ ArtifactCache::clear()
     int removed = 0;
     std::error_code ec;
     for (const auto &de : fs::directory_iterator(dir_, ec)) {
-        if (de.path().extension() != ".sara")
+        auto ext = de.path().extension();
+        if (ext != ".sara" && ext != ".quarantine" &&
+            !isStaleTmp(de.path()))
             continue;
         if (fs::remove(de.path(), ec))
             ++removed;
     }
     return removed;
+}
+
+ArtifactCache::RecoveryStats
+ArtifactCache::recover()
+{
+    RecoveryStats st;
+    std::error_code ec;
+    std::vector<fs::path> entries, tmps;
+    for (const auto &de : fs::directory_iterator(dir_, ec)) {
+        if (!de.is_regular_file(ec))
+            continue;
+        if (isStaleTmp(de.path()))
+            tmps.push_back(de.path());
+        else if (de.path().extension() == ".sara")
+            entries.push_back(de.path());
+    }
+    // A temp file under the sweep means its writer died before the
+    // rename: the entry was never published, so it is garbage (the
+    // sweep runs before any worker thread can be mid-store).
+    for (const auto &t : tmps) {
+        if (fs::remove(t, ec)) {
+            ++st.tmpRemoved;
+            count("artifact.cache.tmp_removed");
+            inform("artifact cache recovery: removed stale temp ",
+                 t.string());
+        }
+    }
+    for (const auto &p : entries) {
+        ++st.scanned;
+        std::string key = p.stem().string();
+        try {
+            LoadedArtifact art = unpackArtifact(
+                readArtifactBytes(p.string()));
+            if (art.key != key)
+                throw ArtifactError("artifact: stored key mismatch");
+            ++st.ok;
+        } catch (const ArtifactError &err) {
+            std::string parked = p.string() + ".quarantine";
+            warn("artifact cache recovery: quarantining ", p.string(),
+                 " -> ", parked, " (", err.what(), ")");
+            fs::rename(p, parked, ec);
+            if (ec)
+                fs::remove(p, ec);
+            ++st.quarantined;
+            count("artifact.cache.quarantined");
+        }
+    }
+    if (st.quarantined > 0 || st.tmpRemoved > 0)
+        inform("artifact cache recovery: ", st.scanned, " scanned, ",
+             st.ok, " ok, ", st.quarantined, " quarantined, ",
+             st.tmpRemoved, " stale temps removed");
+    count("artifact.cache.recovered");
+    return st;
+}
+
+int
+ArtifactCache::quarantinedCount() const
+{
+    int n = 0;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(dir_, ec))
+        if (de.path().extension() == ".quarantine")
+            ++n;
+    return n;
 }
 
 // ---------------------------------------------------------------------------

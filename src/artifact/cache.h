@@ -12,10 +12,19 @@
  * `--cache-dir`). Keys are SHA-256 content hashes, so a changed input
  * or a bumped format version simply misses — no explicit invalidation
  * protocol. Corrupt entries are detected by the artifact checksum,
- * counted, deleted, and treated as misses.
+ * counted, quarantined (renamed to `<key>.sara.quarantine`, preserving
+ * the evidence) and treated as misses.
+ *
+ * Crash safety: stores publish via unique-temp + fsync + atomic rename
+ * (see writeArtifactBytes), and recover() sweeps the directory at
+ * daemon startup — stale temp files from a crashed writer are removed,
+ * torn or corrupt entries are quarantined, intact entries survive. A
+ * kill -9 at any point costs at most the in-flight entry.
  *
  * Telemetry (Registry::global(), when enabled):
  *   artifact.cache.hit / .miss / .store / .corrupt / .evict
+ *   artifact.cache.quarantined / .recovered / .tmp_removed
+ *   artifact.cache.fault.enospc / .fault.short_write (injected)
  *   jobs.compile.deduped (CachingCompiler in-flight dedup)
  *
  * CachingCompiler is thread-safe: concurrent compiles of *different*
@@ -55,10 +64,14 @@ class ArtifactCache
     /** Filesystem path an artifact with `key` would live at. */
     std::string pathFor(const std::string &key) const;
 
+    /** Where a corrupt entry for `key` is parked (never served,
+     *  never silently deleted — kept for post-mortem). */
+    std::string quarantinePathFor(const std::string &key) const;
+
     /**
      * Look up `key`. Returns the decoded result on a hit; nullopt on
-     * miss. Corrupt or version-skewed entries are deleted and counted
-     * as misses — the caller recompiles and re-stores.
+     * miss. Corrupt or version-skewed entries are quarantined and
+     * counted as misses — the caller recompiles and re-stores.
      */
     std::optional<compiler::CompileResult>
     lookup(const std::string &key);
@@ -88,15 +101,47 @@ class ArtifactCache
      *  to exercise expiry; 0 disables the hold entirely. */
     void setTrimWindowMs(double ms) { trimWindowMs_ = ms; }
 
-    /** Remove every cache entry. Returns the number removed. */
+    /** Remove every cache entry, including quarantined entries and
+     *  stale temp files. Returns the number removed. */
     int clear();
 
-    /** Attach a fault injector (may be null). When set, lookups with
-     *  an artifact-flip fault planned for the key read the container
-     *  bytes, flip one byte at the injector-chosen offset, and feed
-     *  the damaged buffer to the normal unpack path — exercising the
-     *  corrupt-entry fallback (drop + recompile) end to end. Not
-     *  owned; must outlive the cache. */
+    /** Outcome of a startup recovery sweep. */
+    struct RecoveryStats
+    {
+        int scanned = 0;     ///< `.sara` entries examined.
+        int ok = 0;          ///< Entries that verified clean.
+        int quarantined = 0; ///< Torn/corrupt entries parked.
+        int tmpRemoved = 0;  ///< Stale writer temp files deleted.
+    };
+
+    /**
+     * Startup recovery sweep (crash-only discipline: the recovery path
+     * IS the startup path). Verifies every `.sara` entry end to end —
+     * container magic, version, checksum, stored-key/filename match —
+     * quarantines the ones that fail instead of serving or silently
+     * deleting them, and removes stale `*.sara.tmp.*` files left by a
+     * writer that died before publishing. Assumes no concurrent writer
+     * (single daemon instance per cache directory); sarad calls this
+     * once before accepting connections.
+     */
+    RecoveryStats recover();
+
+    /** Number of quarantined entries currently parked in the
+     *  directory (surfaceable in the daemon's stats endpoint). */
+    int quarantinedCount() const;
+
+    /** Attach a fault injector (may be null). When set:
+     *  - lookups with an artifact-flip fault planned for the key read
+     *    the container bytes, flip one byte at the injector-chosen
+     *    offset, and feed the damaged buffer to the normal unpack
+     *    path — exercising the quarantine + recompile fallback;
+     *  - stores with a disk-enospc fault fail as a counted store
+     *    failure (the compile result is still returned to callers);
+     *  - stores with a disk-short-write fault publish a deliberately
+     *    truncated file under the final name, bypassing the atomic
+     *    writer — the torn entry must be caught by lookup validation
+     *    or the recovery sweep, never served.
+     *  Not owned; must outlive the cache. */
     void setFaultInjector(const fault::FaultInjector *inj)
     {
         inj_ = inj;

@@ -106,7 +106,10 @@ std::string
 FailureReport::str() const
 {
     std::string out =
-        budgetExceeded
+        cancelled
+            ? "simulation cancelled at cycle " + std::to_string(atCycle) +
+                  " (watchdog deadline): classified " + hangClassName(cls)
+        : budgetExceeded
             ? "simulation exceeded its " + std::to_string(budget) +
                   "-cycle budget at cycle " + std::to_string(atCycle) +
                   ": classified " + hangClassName(cls)
@@ -161,6 +164,8 @@ FailureReport::json() const
         j.kv("budget_exceeded", true);
         j.kv("cycle_budget", budget);
     }
+    if (cancelled)
+        j.kv("cancelled", true);
     if (seeded) {
         j.kv("inject_seed", seed);
         j.kv("injections_total", injectionsTotal);

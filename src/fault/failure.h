@@ -99,6 +99,9 @@ struct FailureReport
     bool budgetExceeded = false;
     /** The exhausted cycle budget (valid when `budgetExceeded`). */
     uint64_t budget = 0;
+    /** The run was cancelled from outside (daemon watchdog deadline)
+     *  rather than hanging on its own; `atCycle` is where it stopped. */
+    bool cancelled = false;
     /** The last events leading up to the hang, oldest first (from the
      *  simulator's flight-recorder ring; empty when disabled). */
     std::vector<TimelineEvent> timeline;

@@ -70,6 +70,10 @@ faultKindName(FaultKind kind)
       case FaultKind::FifoLeak: return "fifo-leak";
       case FaultKind::ArtifactFlip: return "artifact-flip";
       case FaultKind::CompileFault: return "compile-fault";
+      case FaultKind::DiskShortWrite: return "disk-short-write";
+      case FaultKind::DiskEnospc: return "disk-enospc";
+      case FaultKind::SockTornWrite: return "sock-torn-write";
+      case FaultKind::SockDrop: return "sock-drop";
     }
     return "?";
 }
@@ -108,8 +112,9 @@ parseFaultSpec(const std::string &text)
     if (!known)
         fatal("fault spec '", text, "': unknown fault kind '", kind,
               "' (expected noc-delay, noc-dup, stuck-credit, "
-              "dram-timeout, dram-tail, fifo-leak, artifact-flip or "
-              "compile-fault)");
+              "dram-timeout, dram-tail, fifo-leak, artifact-flip, "
+              "compile-fault, disk-short-write, disk-enospc, "
+              "sock-torn-write or sock-drop)");
 
     auto parseU64 = [&](const std::string &v) -> uint64_t {
         try {
@@ -332,13 +337,13 @@ FaultInjector::flipOffset(const std::string &key, size_t size) const
 }
 
 bool
-FaultInjector::compileFault(const std::string &key) const
+FaultInjector::attemptFault(FaultKind kind, const std::string &site) const
 {
     for (size_t i = 0; i < plan_.size(); ++i) {
         const FaultSpec &s = plan_[i];
-        if (s.kind != FaultKind::CompileFault)
+        if (s.kind != kind)
             continue;
-        // Repeated attempts on one key must be able to differ (that is
+        // Repeated attempts on one site must be able to differ (that is
         // what a *transient* fault means), so each attempt advances a
         // per-spec sequence number feeding the decision hash.
         uint64_t attempt;
@@ -346,16 +351,57 @@ FaultInjector::compileFault(const std::string &key) const
             std::lock_guard<std::mutex> lock(mu_);
             attempt = static_cast<uint64_t>(++struck_[i]);
         }
-        if (!siteMatches(s, key))
+        if (!siteMatches(s, site))
             continue;
         if (s.count >= 0 && attempt > static_cast<uint64_t>(s.count))
             continue;
-        if (s.prob < 1.0 && unitHash(seed_, i, key, attempt) >= s.prob)
+        if (s.prob < 1.0 && unitHash(seed_, i, site, attempt) >= s.prob)
             continue;
-        record(s.kind, key, 0);
+        record(s.kind, site, 0);
         return true;
     }
     return false;
+}
+
+bool
+FaultInjector::compileFault(const std::string &key) const
+{
+    return attemptFault(FaultKind::CompileFault, key);
+}
+
+bool
+FaultInjector::diskShortWrite(const std::string &key) const
+{
+    return attemptFault(FaultKind::DiskShortWrite, key);
+}
+
+size_t
+FaultInjector::shortWriteKeep(const std::string &key, size_t size) const
+{
+    if (size <= 1)
+        return size; // Nothing to truncate meaningfully.
+    // Keep in [1, size-1]: the torn file exists but is incomplete.
+    return 1 + static_cast<size_t>(splitmix64(seed_ ^ fnv1a(key) ^
+                                              0x5157ULL) %
+                                   (size - 1));
+}
+
+bool
+FaultInjector::diskEnospc(const std::string &key) const
+{
+    return attemptFault(FaultKind::DiskEnospc, key);
+}
+
+bool
+FaultInjector::sockTornWrite(const std::string &connSite) const
+{
+    return attemptFault(FaultKind::SockTornWrite, connSite);
+}
+
+bool
+FaultInjector::sockDrop(const std::string &connSite) const
+{
+    return attemptFault(FaultKind::SockDrop, connSite);
 }
 
 void

@@ -37,8 +37,16 @@ enum class FaultKind : uint8_t {
     FifoLeak,     ///< A popped credit is lost (capacity shrinks by one).
     ArtifactFlip, ///< Flip one byte of a loaded artifact container.
     CompileFault, ///< Transient compile failure (retry path).
+    // Host-level kinds: strike the process's disk and socket I/O paths
+    // rather than the simulated machine. Like artifact-flip and
+    // compile-fault they have no cycle clock; each I/O operation is one
+    // opportunity and retries of the same site can differ.
+    DiskShortWrite, ///< Artifact store publishes a truncated file.
+    DiskEnospc,     ///< Artifact store fails as if the disk were full.
+    SockTornWrite,  ///< A response line is cut mid-write, conn dropped.
+    SockDrop,       ///< The connection dies before the response line.
 };
-inline constexpr int kNumFaultKinds = 8;
+inline constexpr int kNumFaultKinds = 12;
 
 const char *faultKindName(FaultKind kind);
 
@@ -118,6 +126,22 @@ class FaultInjector
      *  distinguishes retries so a bounded count cap lets them pass. */
     bool compileFault(const std::string &key) const;
 
+    // --- Host-level query points (disk + socket I/O) -----------------
+
+    /** Whether this artifact store is published truncated. */
+    bool diskShortWrite(const std::string &key) const;
+    /** How many bytes of a `size`-byte container a short write keeps
+     *  (deterministic in (seed, key); always < size, never 0 so the
+     *  torn file exists and must be caught by validation, not ENOENT). */
+    size_t shortWriteKeep(const std::string &key, size_t size) const;
+    /** Whether this artifact store fails with a disk-full error. */
+    bool diskEnospc(const std::string &key) const;
+    /** Whether this response write is torn mid-line (connection site,
+     *  e.g. "conn-7"). The server closes the connection after tearing. */
+    bool sockTornWrite(const std::string &connSite) const;
+    /** Whether the connection drops before this response is written. */
+    bool sockDrop(const std::string &connSite) const;
+
     // --- Diagnosis support -------------------------------------------
 
     /** Log an extra record under a caller-chosen site name (used to
@@ -143,6 +167,11 @@ class FaultInjector
   private:
     bool decide(const FaultSpec &spec, size_t specIdx,
                 const std::string &site, uint64_t cycle) const;
+    /** Shared per-opportunity decision for process/host-level kinds:
+     *  every call advances the matching specs' attempt sequence so
+     *  retries of one site can differ and a count cap is an attempt
+     *  cap (compile-fault semantics). */
+    bool attemptFault(FaultKind kind, const std::string &site) const;
     void record(FaultKind kind, const std::string &site,
                 uint64_t cycle) const;
 

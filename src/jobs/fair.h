@@ -20,6 +20,11 @@
  *    served alternately; a weight-2 tenant is served twice as often.
  *    A tenant going idle and returning re-joins at the current global
  *    virtual time, so sleeping never banks credit.
+ *  - Tenant churn: a tenant whose sub-queue empties and that carries
+ *    no explicit weight is garbage-collected on pop(), so a stream of
+ *    one-shot tenants (chaos clients, per-request tenant ids) cannot
+ *    grow the tenant map without bound. Explicitly-weighted tenants
+ *    persist — their configuration must survive idle periods.
  *  - pop() blocks until an item is available or stop() is called;
  *    after stop() the remaining items drain in fair order and pop()
  *    then returns nullopt forever.
@@ -50,8 +55,11 @@ class FairQueue
     setWeight(const std::string &tenant, double weight)
     {
         std::lock_guard<std::mutex> lock(mu_);
-        if (weight > 0.0)
-            tenants_[tenant].stride = 1.0 / weight;
+        if (weight > 0.0) {
+            Tenant &t = tenants_[tenant];
+            t.stride = 1.0 / weight;
+            t.pinned = true; // Survives idle GC.
+        }
     }
 
     /** Enqueue under `tenant`; false when the queue is saturated. */
@@ -96,6 +104,18 @@ class FairQueue
         virtual_ = best->pass;
         best->pass += best->stride;
         --depth_;
+        // Tenant-churn GC: drop drained default-weight tenants. Their
+        // pass state is re-derivable (a re-joining tenant starts at
+        // the current virtual time anyway), so nothing is lost, and a
+        // stream of unique tenant names stays O(active), not O(ever
+        // seen). The `best` pointer dies here; erase by iterator walk.
+        if (best->items.empty() && !best->pinned) {
+            for (auto it = tenants_.begin(); it != tenants_.end(); ++it)
+                if (&it->second == best) {
+                    tenants_.erase(it);
+                    break;
+                }
+        }
         return item;
     }
 
@@ -134,12 +154,23 @@ class FairQueue
 
     size_t maxDepth() const { return maxDepth_; }
 
+    /** Tenants currently tracked (active + pinned): the churn-GC
+     *  bound, exposed for tests and stats. */
+    size_t
+    tenantCount() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return tenants_.size();
+    }
+
   private:
     struct Tenant
     {
         std::deque<T> items;
         double pass = 0.0;
         double stride = 1.0;
+        /** Explicitly configured (setWeight): exempt from churn GC. */
+        bool pinned = false;
     };
 
     const size_t maxDepth_;

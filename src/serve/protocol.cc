@@ -225,4 +225,24 @@ rejectedResponse(const std::string &id, double retryAfterMs)
         .str();
 }
 
+std::string
+overloadedResponse(double retryAfterMs)
+{
+    return ResponseBuilder("", "overloaded")
+        .kv("error", "connection limit reached")
+        .kv("retry_after_ms", retryAfterMs)
+        .str();
+}
+
+std::string
+breakerResponse(const std::string &id, const std::string &workload,
+                double retryAfterMs)
+{
+    return ResponseBuilder(id, "rejected")
+        .kv("error", "circuit breaker open")
+        .kv("workload", workload)
+        .kv("retry_after_ms", retryAfterMs)
+        .str();
+}
+
 } // namespace sara::serve

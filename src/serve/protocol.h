@@ -21,9 +21,9 @@
  *
  * Response (schema "sara-response/v1"):
  *
- *   status    ok | error | rejected
+ *   status    ok | error | rejected | overloaded
  *   error     message (status != ok)
- *   retry_after_ms   backpressure hint (status == rejected only)
+ *   retry_after_ms   backpressure hint (rejected/overloaded only)
  *   queue_ms / service_ms   per-request latency split (ok only)
  *   compile/run payload: artifact key, from_cache, deduped, and for
  *   run additionally cycles / gflops / time_us.
@@ -103,6 +103,17 @@ std::string errorResponse(const std::string &id, const std::string &msg);
 
 /** Shorthand for an admission reject with a backpressure hint. */
 std::string rejectedResponse(const std::string &id, double retryAfterMs);
+
+/** Connection-level shed: the daemon is at its connection bound. Sent
+ *  once on the overflowing socket (before any request arrives, hence
+ *  no id) and the connection is closed. */
+std::string overloadedResponse(double retryAfterMs);
+
+/** Circuit-breaker reject: `workload` has produced repeated poison
+ *  failures and its breaker is open for another `retryAfterMs`. */
+std::string breakerResponse(const std::string &id,
+                            const std::string &workload,
+                            double retryAfterMs);
 
 } // namespace sara::serve
 

@@ -5,6 +5,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "fault/failure.h"
@@ -37,8 +38,15 @@ count(const char *name, uint64_t delta = 1)
 struct Server::Conn
 {
     int fd = -1;
+    uint64_t id = 0;
+    std::string site; ///< Injection site name ("conn-<id>").
     std::mutex writeMu;
     std::atomic<bool> open{true};
+    /** Reader thread exited; the accept loop reaps (joins) it. */
+    std::atomic<bool> readerDone{false};
+    /** Admitted requests not yet answered — an idle check must not
+     *  shed a client that is just waiting for its response. */
+    std::atomic<int> outstanding{0};
 
     ~Conn()
     {
@@ -79,9 +87,16 @@ Server::start()
         cache_ = std::make_unique<artifact::ArtifactCache>(
             opt_.cacheDir);
         inform("sarad: artifact cache at ", cache_->dir());
+        // Crash-only discipline: the recovery path is the startup
+        // path. Sweep before any worker can read or write an entry.
+        recovery_ = cache_->recover();
+        if (opt_.fault)
+            cache_->setFaultInjector(opt_.fault);
     }
     compiler_ =
         std::make_unique<artifact::CachingCompiler>(cache_.get());
+    if (opt_.fault)
+        compiler_->setFaultInjector(opt_.fault);
 
     if (opt_.socketPath.size() >= sizeof(sockaddr_un{}.sun_path))
         fatal("sarad: socket path too long: ", opt_.socketPath);
@@ -105,8 +120,11 @@ Server::start()
     workerThreads_.reserve(workers_);
     for (int i = 0; i < workers_; ++i)
         workerThreads_.emplace_back([this] { workerLoop(); });
+    if (opt_.requestDeadlineMs > 0)
+        watchdogThread_ = std::thread([this] { watchdogLoop(); });
     inform("sarad: serving on ", opt_.socketPath, " with ", workers_,
-           " workers, queue depth ", opt_.queueDepth);
+           " workers, queue depth ", opt_.queueDepth,
+           ", connection bound ", opt_.maxConnections);
 }
 
 void
@@ -124,20 +142,33 @@ Server::wait()
     if (acceptThread_.joinable())
         acceptThread_.join();
     // Workers drain the admitted backlog, then exit on the stopped
-    // queue's nullopt.
+    // queue's nullopt. The watchdog stays alive through the drain so a
+    // stuck request cannot wedge shutdown.
     for (auto &w : workerThreads_)
         if (w.joinable())
             w.join();
-    // Unblock readers parked in recv() and collect them.
+    watchdogStop_.store(true);
+    if (watchdogThread_.joinable())
+        watchdogThread_.join();
+    // Unblock readers parked in poll()/recv() and collect them.
     {
         std::lock_guard<std::mutex> lock(connMu_);
-        for (const auto &c : conns_)
+        for (const auto &[c, t] : readers_)
             if (c->open.load())
                 ::shutdown(c->fd, SHUT_RDWR);
     }
-    for (auto &r : readerThreads_)
-        if (r.joinable())
-            r.join();
+    for (;;) {
+        std::pair<std::shared_ptr<Conn>, std::thread> r;
+        {
+            std::lock_guard<std::mutex> lock(connMu_);
+            if (readers_.empty())
+                break;
+            r = std::move(readers_.back());
+            readers_.pop_back();
+        }
+        if (r.second.joinable())
+            r.second.join();
+    }
     ::close(listenFd_);
     listenFd_ = -1;
     ::unlink(opt_.socketPath.c_str());
@@ -146,22 +177,69 @@ Server::wait()
 }
 
 void
+Server::reapReaders()
+{
+    // Join and drop finished reader threads so connection churn never
+    // accumulates dead threads. Joins happen outside the lock.
+    std::vector<std::thread> done;
+    {
+        std::lock_guard<std::mutex> lock(connMu_);
+        for (auto it = readers_.begin(); it != readers_.end();) {
+            if (it->first->readerDone.load()) {
+                done.push_back(std::move(it->second));
+                it = readers_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    for (auto &t : done)
+        if (t.joinable())
+            t.join();
+}
+
+void
 Server::acceptLoop()
 {
     while (!stopping_.load()) {
         pollfd pfd{listenFd_, POLLIN, 0};
         int n = ::poll(&pfd, 1, 100);
+        reapReaders();
         if (n <= 0)
             continue;
         int fd = ::accept(listenFd_, nullptr, nullptr);
         if (fd < 0)
             continue;
+        size_t active = 0;
+        {
+            // Count live readers only: a disconnected client whose
+            // thread has finished but is not yet reaped must not hold
+            // a connection slot against new arrivals.
+            std::lock_guard<std::mutex> lock(connMu_);
+            for (const auto &[c, t] : readers_)
+                if (!c->readerDone.load())
+                    ++active;
+        }
+        if (opt_.maxConnections > 0 && active >= opt_.maxConnections) {
+            // Bounded connections: answer with a structured shed and
+            // close — never spawn an unbounded reader thread.
+            std::string line =
+                overloadedResponse(retryAfterHintMs()) + "\n";
+            ::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+            ::close(fd);
+            count("serve.overloaded");
+            continue;
+        }
         auto conn = std::make_shared<Conn>();
         conn->fd = fd;
-        std::lock_guard<std::mutex> lock(connMu_);
-        conns_.push_back(conn);
-        readerThreads_.emplace_back(
-            [this, conn] { readerLoop(conn); });
+        {
+            std::lock_guard<std::mutex> lock(connMu_);
+            conn->id = ++connSeq_;
+            conn->site = "conn-" + std::to_string(conn->id);
+            readers_.emplace_back(conn, std::thread([this, conn] {
+                                      readerLoop(conn);
+                                  }));
+        }
         count("serve.connections");
     }
 }
@@ -173,7 +251,25 @@ Server::sendLine(const std::shared_ptr<Conn> &conn,
     if (!conn->open.load())
         return;
     std::lock_guard<std::mutex> lock(conn->writeMu);
+    if (opt_.fault && opt_.fault->sockDrop(conn->site)) {
+        // Injected: the connection dies before the response line.
+        count("serve.fault.sock_drop");
+        ::shutdown(conn->fd, SHUT_RDWR);
+        conn->open.store(false);
+        return;
+    }
     std::string buf = line + "\n";
+    if (opt_.fault && opt_.fault->sockTornWrite(conn->site)) {
+        // Injected: the write tears mid-line (no newline ever
+        // arrives) and the connection drops — the client must treat
+        // the partial line as a dead connection, never parse it.
+        count("serve.fault.sock_torn");
+        size_t keep = std::max<size_t>(1, buf.size() / 2);
+        ::send(conn->fd, buf.data(), keep, MSG_NOSIGNAL);
+        ::shutdown(conn->fd, SHUT_RDWR);
+        conn->open.store(false);
+        return;
+    }
     size_t off = 0;
     while (off < buf.size()) {
         ssize_t n = ::send(conn->fd, buf.data() + off,
@@ -192,12 +288,78 @@ void
 Server::readerLoop(std::shared_ptr<Conn> conn)
 {
     constexpr size_t kMaxLine = 1 << 20;
+    constexpr int kPollMs = 20;
     std::string pending;
     char buf[4096];
+    auto lastBytes = std::chrono::steady_clock::now();
+    auto partialSince = lastBytes;
+    // On shutdown the reader exits but must NOT mark the connection
+    // closed: workers are still draining the admitted backlog and
+    // their responses flow through this connection.
+    bool keepOpen = false;
     while (conn->open.load()) {
+        if (stopping_.load()) {
+            // Final drain: requests the client already sent (buffered
+            // in the socket or in `pending`) still deserve structured
+            // answers — the stopped queue turns them into rejects.
+            // Only immediately-available bytes count; nobody waits.
+            for (;;) {
+                pollfd pfd{conn->fd, POLLIN, 0};
+                if (::poll(&pfd, 1, 0) <= 0)
+                    break;
+                ssize_t n = ::recv(conn->fd, buf, sizeof buf, 0);
+                if (n <= 0)
+                    break;
+                pending.append(buf, static_cast<size_t>(n));
+            }
+            size_t start = 0;
+            for (size_t nl; (nl = pending.find('\n', start)) !=
+                            std::string::npos;
+                 start = nl + 1) {
+                std::string line = pending.substr(start, nl - start);
+                if (!line.empty() && line.back() == '\r')
+                    line.pop_back();
+                if (!line.empty())
+                    handleLine(conn, line);
+            }
+            keepOpen = true;
+            break;
+        }
+        pollfd pfd{conn->fd, POLLIN, 0};
+        int p = ::poll(&pfd, 1, kPollMs);
+        if (p < 0)
+            break;
+        auto now = std::chrono::steady_clock::now();
+        if (p == 0) {
+            // Deadline tick. A stalled partial request line is a
+            // slow-loris; a quiet connection with nothing in flight
+            // may be shed as idle. Both get one structured line so
+            // the client knows why it was cut.
+            if (!pending.empty() && opt_.readDeadlineMs > 0 &&
+                msBetween(partialSince, now) > opt_.readDeadlineMs) {
+                count("serve.shed.slowloris");
+                sendLine(conn,
+                         errorResponse("", "read deadline exceeded: "
+                                           "partial request line"));
+                break;
+            }
+            if (pending.empty() && opt_.idleTimeoutMs > 0 &&
+                conn->outstanding.load() == 0 &&
+                msBetween(lastBytes, now) > opt_.idleTimeoutMs) {
+                count("serve.shed.idle");
+                sendLine(conn, errorResponse(
+                                   "", "idle timeout: shedding "
+                                       "connection"));
+                break;
+            }
+            continue;
+        }
         ssize_t n = ::recv(conn->fd, buf, sizeof buf, 0);
         if (n <= 0)
             break;
+        if (pending.empty())
+            partialSince = now;
+        lastBytes = now;
         pending.append(buf, static_cast<size_t>(n));
         size_t start = 0;
         for (size_t nl; (nl = pending.find('\n', start)) !=
@@ -210,13 +372,20 @@ Server::readerLoop(std::shared_ptr<Conn> conn)
                 handleLine(conn, line);
         }
         pending.erase(0, start);
+        // The deadline covers the *current* partial line: every byte
+        // of progress resets it, so only a genuinely stalled client
+        // trips it.
+        if (!pending.empty())
+            partialSince = now;
         if (pending.size() > kMaxLine) {
             sendLine(conn, errorResponse(
                                "", "request line exceeds 1 MiB"));
             break;
         }
     }
-    conn->open.store(false);
+    if (!keepOpen)
+        conn->open.store(false);
+    conn->readerDone.store(true);
 }
 
 void
@@ -255,6 +424,23 @@ Server::handleLine(const std::shared_ptr<Conn> &conn,
         break;
     }
 
+    // Conservation invariant (asserted by the chaos harness): every
+    // well-formed compile/run request is counted exactly once here and
+    // lands in exactly one of admitted / rejected.
+    count("serve.requests");
+
+    std::string breakerLine;
+    if (!breakerAllows(req, breakerLine)) {
+        count("serve.rejected");
+        count("serve.breaker.rejected");
+        {
+            std::lock_guard<std::mutex> lock(statsMu_);
+            ++tenants_[req.tenant].rejected;
+        }
+        sendLine(conn, breakerLine);
+        return;
+    }
+
     Ticket t{req, conn, std::chrono::steady_clock::now()};
     if (!queue_.tryPush(req.tenant, std::move(t))) {
         count("serve.rejected");
@@ -265,9 +451,72 @@ Server::handleLine(const std::shared_ptr<Conn> &conn,
         sendLine(conn, rejectedResponse(req.id, retryAfterHintMs()));
         return;
     }
+    conn->outstanding.fetch_add(1);
     count("serve.admitted");
     std::lock_guard<std::mutex> lock(statsMu_);
     ++tenants_[req.tenant].admitted;
+}
+
+bool
+Server::breakerAllows(const Request &req, std::string &line)
+{
+    if (opt_.breakerThreshold <= 0)
+        return true;
+    auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(breakerMu_);
+    auto it = breakers_.find(req.workload);
+    if (it == breakers_.end() || !it->second.open)
+        return true;
+    Breaker &b = it->second;
+    double sinceOpen = msBetween(b.openedAt, now);
+    if (sinceOpen >= opt_.breakerCooldownMs && !b.probeInFlight) {
+        // Half-open: let exactly one probe through to re-test the
+        // workload; everyone else keeps getting rejected until the
+        // probe's outcome closes or re-trips the breaker.
+        b.probeInFlight = true;
+        return true;
+    }
+    ++b.rejected;
+    double retryMs =
+        std::max(1.0, opt_.breakerCooldownMs - sinceOpen);
+    line = breakerResponse(req.id, req.workload, retryMs);
+    return false;
+}
+
+void
+Server::breakerRecord(const std::string &workload, bool failed)
+{
+    if (opt_.breakerThreshold <= 0)
+        return;
+    std::lock_guard<std::mutex> lock(breakerMu_);
+    Breaker &b = breakers_[workload];
+    if (!failed) {
+        b.consecutiveFailures = 0;
+        if (b.open)
+            inform("sarad: circuit breaker for '", workload,
+                   "' closed (probe succeeded)");
+        b.open = false;
+        b.probeInFlight = false;
+        return;
+    }
+    ++b.consecutiveFailures;
+    if (b.open) {
+        // The half-open probe failed: stay open, restart cool-down.
+        b.openedAt = std::chrono::steady_clock::now();
+        b.probeInFlight = false;
+        return;
+    }
+    if (b.consecutiveFailures >= opt_.breakerThreshold) {
+        b.open = true;
+        b.probeInFlight = false;
+        b.openedAt = std::chrono::steady_clock::now();
+        ++b.trips;
+        count("serve.breaker.tripped");
+        warn("sarad: circuit breaker tripped for workload '", workload,
+             "' after ", b.consecutiveFailures,
+             " consecutive failures; cooling down ",
+             opt_.breakerCooldownMs, " ms");
+    }
 }
 
 double
@@ -290,6 +539,36 @@ Server::workerLoop()
         if (!t)
             return;
         execute(*t);
+    }
+}
+
+void
+Server::watchdogLoop()
+{
+    // Wall-clock deadline enforcement: scan the inflight registry and
+    // raise the cancel flag on any request executing past the
+    // deadline. The simulator polls the flag each simulated cycle and
+    // surfaces the cancellation as a classified FailureReport — the
+    // worker thread survives, the daemon keeps serving.
+    const auto tick = std::chrono::milliseconds(
+        std::max(1, static_cast<int>(opt_.requestDeadlineMs / 8)));
+    while (!watchdogStop_.load()) {
+        std::this_thread::sleep_for(
+            std::min<std::chrono::milliseconds>(
+                tick, std::chrono::milliseconds(50)));
+        auto now = std::chrono::steady_clock::now();
+        std::lock_guard<std::mutex> lock(inflightMu_);
+        for (auto &[seq, fl] : inflight_) {
+            if (fl->cancel.load())
+                continue;
+            if (msBetween(fl->started, now) > opt_.requestDeadlineMs) {
+                fl->cancel.store(true);
+                count("serve.watchdog.cancelled");
+                warn("sarad: watchdog cancelling request '", fl->id,
+                     "' (", fl->workload, "): past ",
+                     opt_.requestDeadlineMs, " ms deadline");
+            }
+        }
     }
 }
 
@@ -325,7 +604,8 @@ Server::memStore(const std::string &key,
 
 std::string
 Server::executeCompileOrRun(const Request &req, double queueMs,
-                            double &serviceMs)
+                            double &serviceMs,
+                            const std::atomic<bool> *cancel)
 {
     auto t0 = std::chrono::steady_clock::now();
     workloads::WorkloadConfig cfg;
@@ -381,6 +661,7 @@ Server::executeCompileOrRun(const Request &req, double queueMs,
         rc.check = req.check;
         rc.sim.useNoc = req.noc;
         rc.sim.hangDiagnosis = true;
+        rc.sim.cancel = cancel;
         if (req.maxCycles)
             rc.sim.maxCycles = req.maxCycles;
         else if (opt_.defaultMaxCycles)
@@ -408,15 +689,35 @@ Server::execute(const Ticket &ticket)
     double serviceMs = 0.0;
     std::string response;
     bool failed = false;
+
+    // Register with the watchdog for the whole execution.
+    std::shared_ptr<Inflight> fl;
+    uint64_t flSeq = 0;
+    if (opt_.requestDeadlineMs > 0) {
+        fl = std::make_shared<Inflight>();
+        fl->started = popped;
+        fl->id = ticket.req.id;
+        fl->workload = ticket.req.workload;
+        std::lock_guard<std::mutex> lock(inflightMu_);
+        flSeq = ++inflightSeq_;
+        inflight_.emplace(flSeq, fl);
+    }
+
     try {
-        response =
-            executeCompileOrRun(ticket.req, queueMs, serviceMs);
+        response = executeCompileOrRun(ticket.req, queueMs, serviceMs,
+                                       fl ? &fl->cancel : nullptr);
     } catch (const fault::HangError &e) {
         // Structured escalation: the classified FailureReport rides
-        // inside the error response; the daemon keeps serving.
+        // inside the error response; the daemon keeps serving. A
+        // watchdog cancellation surfaces here too, flagged on the
+        // report so clients can tell a deadline kill from a hang.
         failed = true;
+        const char *msg = e.report().cancelled
+                              ? "request deadline exceeded: cancelled "
+                                "by watchdog (see report)"
+                              : "simulation hang: see report";
         response = ResponseBuilder(ticket.req.id, "error")
-                       .kv("error", "simulation hang: see report")
+                       .kv("error", msg)
                        .raw("failure_report", e.report().json())
                        .str();
     } catch (const std::exception &e) {
@@ -427,6 +728,12 @@ Server::execute(const Ticket &ticket)
         response =
             errorResponse(ticket.req.id, "unknown internal error");
     }
+
+    if (fl) {
+        std::lock_guard<std::mutex> lock(inflightMu_);
+        inflight_.erase(flSeq);
+    }
+    breakerRecord(ticket.req.workload, failed);
 
     if (failed)
         count("serve.errors");
@@ -448,6 +755,7 @@ Server::execute(const Ticket &ticket)
         }
     }
     sendLine(ticket.conn, response);
+    ticket.conn->outstanding.fetch_sub(1);
 }
 
 std::string
@@ -461,6 +769,66 @@ Server::statsJson() const
     j.kv("workers", workers_);
     j.kv("queue_depth", static_cast<uint64_t>(queue_.depth()));
     j.kv("queue_limit", static_cast<uint64_t>(queue_.maxDepth()));
+
+    j.key("connections").beginObject();
+    {
+        size_t active = 0;
+        {
+            std::lock_guard<std::mutex> lock(connMu_);
+            for (const auto &[c, t] : readers_)
+                if (!c->readerDone.load())
+                    ++active;
+        }
+        j.kv("active", static_cast<uint64_t>(active));
+        j.kv("limit", static_cast<uint64_t>(opt_.maxConnections));
+        j.kv("read_deadline_ms", opt_.readDeadlineMs);
+        j.kv("idle_timeout_ms", opt_.idleTimeoutMs);
+    }
+    j.endObject();
+
+    j.key("watchdog").beginObject();
+    {
+        j.kv("enabled", opt_.requestDeadlineMs > 0);
+        j.kv("request_deadline_ms", opt_.requestDeadlineMs);
+        size_t executing;
+        {
+            std::lock_guard<std::mutex> lock(inflightMu_);
+            executing = inflight_.size();
+        }
+        j.kv("executing", static_cast<uint64_t>(executing));
+    }
+    j.endObject();
+
+    j.key("breakers").beginObject();
+    {
+        std::lock_guard<std::mutex> lock(breakerMu_);
+        for (const auto &[workload, b] : breakers_) {
+            j.key(workload).beginObject();
+            j.kv("state", b.open ? "open" : "closed");
+            j.kv("consecutive_failures",
+                 static_cast<uint64_t>(b.consecutiveFailures));
+            j.kv("trips", b.trips);
+            j.kv("rejected", b.rejected);
+            j.endObject();
+        }
+    }
+    j.endObject();
+
+    if (cache_) {
+        j.key("cache").beginObject();
+        j.kv("dir", cache_->dir());
+        j.kv("quarantined",
+             static_cast<uint64_t>(cache_->quarantinedCount()));
+        j.key("recovery").beginObject();
+        j.kv("scanned", static_cast<uint64_t>(recovery_.scanned));
+        j.kv("ok", static_cast<uint64_t>(recovery_.ok));
+        j.kv("quarantined",
+             static_cast<uint64_t>(recovery_.quarantined));
+        j.kv("tmp_removed",
+             static_cast<uint64_t>(recovery_.tmpRemoved));
+        j.endObject();
+        j.endObject();
+    }
 
     j.key("counters").beginObject();
     for (const auto &[name, v] : reg.counterSnapshot())

@@ -28,10 +28,25 @@
  *     responses (HangError carries the full FailureReport JSON);
  *     TransientErrors are retried with linear backoff like the batch
  *     runner. A poisoned request can never take the daemon down.
+ *   - crash-only serving: connections are bounded (overflow gets a
+ *     structured `overloaded` line, never an unbounded reader thread);
+ *     reader loops poll with deadlines — a slow-loris client that
+ *     stalls mid-request-line, or an idle client past its timeout, is
+ *     shed with a structured error. A watchdog thread enforces a
+ *     per-request wall-clock deadline by cancelling the simulation
+ *     (cooperative cancel flag polled per simulated cycle) and turns
+ *     the resulting FailureReport (flight-recorder timeline included)
+ *     into an error response — the worker thread and daemon survive.
+ *     A per-workload circuit breaker trips after repeated poison
+ *     failures and rejects further requests for that workload until a
+ *     cool-down elapses (half-open: one probe request re-tests it).
+ *     Socket fault injection (sock-torn-write, sock-drop) tears
+ *     response writes to prove clients and daemon survive.
  *   - observability: the `stats` verb snapshots the global metrics
  *     registry plus per-tenant admission/latency statistics
  *     (p50/p99 from log-bucketed histograms) — a live endpoint, not a
- *     post-mortem report.
+ *     post-mortem report — plus connection, watchdog, breaker and
+ *     artifact-cache (quarantine) sections.
  */
 
 #include <array>
@@ -115,6 +130,32 @@ struct ServerOptions
     uint64_t defaultMaxCycles = 0;
     /** Per-tenant scheduling weights (absent tenants weigh 1.0). */
     std::map<std::string, double> tenantWeights;
+
+    // --- Crash-only serving knobs ------------------------------------
+    /** Concurrent connection bound; the overflow connection gets one
+     *  structured `overloaded` response and is closed (no reader
+     *  thread is ever spawned for it). */
+    size_t maxConnections = 256;
+    /** How long a partial request line may sit without progress before
+     *  the connection is shed (slow-loris defense). 0 = no deadline. */
+    double readDeadlineMs = 30000.0;
+    /** Idle shed: connections with no outstanding requests and no
+     *  received bytes for this long are closed. 0 = never. */
+    double idleTimeoutMs = 0.0;
+    /** Watchdog: wall-clock deadline per admitted request. A request
+     *  still executing past it is cancelled (cooperative flag polled
+     *  by the simulator each cycle) and answered with a structured
+     *  error carrying the FailureReport. 0 = watchdog off. */
+    double requestDeadlineMs = 0.0;
+    /** Circuit breaker: consecutive failures of one workload that trip
+     *  its breaker. 0 = breaker off. */
+    int breakerThreshold = 8;
+    /** How long a tripped breaker rejects before half-opening. */
+    double breakerCooldownMs = 1000.0;
+    /** Host-level fault injection (disk faults into the artifact
+     *  cache, socket faults into response writes, compile faults into
+     *  the compiler). Not owned; may be null. */
+    const fault::FaultInjector *fault = nullptr;
 };
 
 /** The resident service. start() binds and spawns threads; wait()
@@ -161,17 +202,43 @@ class Server
         LatencyHisto totalMs;
     };
 
+    /** One executing request, registered for the watchdog. */
+    struct Inflight
+    {
+        std::atomic<bool> cancel{false};
+        std::chrono::steady_clock::time_point started;
+        std::string id;
+        std::string workload;
+    };
+    /** Per-workload circuit breaker state. */
+    struct Breaker
+    {
+        int consecutiveFailures = 0;
+        bool open = false;
+        bool probeInFlight = false; ///< Half-open: one request re-tests.
+        std::chrono::steady_clock::time_point openedAt;
+        uint64_t trips = 0;
+        uint64_t rejected = 0;
+    };
+
     void acceptLoop();
+    void reapReaders();
     void readerLoop(std::shared_ptr<Conn> conn);
     void workerLoop();
+    void watchdogLoop();
     void handleLine(const std::shared_ptr<Conn> &conn,
                     const std::string &line);
     void execute(const Ticket &ticket);
     std::string executeCompileOrRun(const Request &req, double queueMs,
-                                    double &serviceMs);
-    static void sendLine(const std::shared_ptr<Conn> &conn,
-                         const std::string &line);
+                                    double &serviceMs,
+                                    const std::atomic<bool> *cancel);
+    void sendLine(const std::shared_ptr<Conn> &conn,
+                  const std::string &line);
     double retryAfterHintMs() const;
+    /** Breaker admission check; fills `line` with the rejection when
+     *  the workload's breaker is open. */
+    bool breakerAllows(const Request &req, std::string &line);
+    void breakerRecord(const std::string &workload, bool failed);
 
     ServerOptions opt_;
     int workers_ = 0;
@@ -203,11 +270,28 @@ class Server
     double ewmaServiceMs_ = 10.0;
     std::chrono::steady_clock::time_point epoch_;
 
+    // Watchdog registry of executing requests.
+    mutable std::mutex inflightMu_;
+    std::map<uint64_t, std::shared_ptr<Inflight>> inflight_;
+    uint64_t inflightSeq_ = 0;
+    std::atomic<bool> watchdogStop_{false};
+    std::thread watchdogThread_;
+
+    // Per-workload circuit breakers.
+    mutable std::mutex breakerMu_;
+    std::map<std::string, Breaker> breakers_;
+
+    // Startup cache-recovery outcome (disk cache only).
+    artifact::ArtifactCache::RecoveryStats recovery_;
+
     std::thread acceptThread_;
     std::vector<std::thread> workerThreads_;
+    // Reader threads paired with their connection; finished readers
+    // are reaped (joined + erased) by the accept loop, so the daemon
+    // never accumulates dead threads across connection churn.
     mutable std::mutex connMu_;
-    std::vector<std::shared_ptr<Conn>> conns_;
-    std::vector<std::thread> readerThreads_;
+    std::vector<std::pair<std::shared_ptr<Conn>, std::thread>> readers_;
+    uint64_t connSeq_ = 0;
 };
 
 } // namespace sara::serve

@@ -997,9 +997,11 @@ Simulator::run()
         // markers (fire path, NoC arbitration, DRAM model, CV waits)
         // re-attribute their own synchronous slices.
         telemetry::ScopedPhase phase(telemetry::HostPhase::Scheduler);
-        end = sched_.run(opt_.maxCycles);
+        end = sched_.run(opt_.maxCycles, opt_.cancel);
     }
 
+    if (sched_.cancelled())
+        reportCancelled();
     if (sched_.budgetExceeded())
         reportBudgetExceeded();
 
@@ -1485,6 +1487,29 @@ Simulator::reportBudgetExceeded()
         // pending the run is live by definition, so a budget overrun
         // is a livelock, never a deadlock. Injected-fault attribution
         // stands — a permanent fault can burn the budget.
+        fr.cls = fault::HangClass::Starvation;
+        fr.cycle.clear();
+    }
+    buildTimeline(fr);
+    if (!opt_.traceFile.empty())
+        writeTrace(&fr);
+    detail::logMessage(LogLevel::Error, "panic", fr.str());
+    throw fault::HangError(std::move(fr));
+}
+
+void
+Simulator::reportCancelled()
+{
+    // An external watchdog pulled the plug mid-flight. Like a budget
+    // overrun the snapshot is transient, so a wait-for cycle proves
+    // nothing — classify for the evidence (blocked set, injections,
+    // timeline), force starvation over deadlock, and mark the report
+    // cancelled so the caller can tell a watchdog kill from an
+    // organic hang.
+    fault::FailureReport fr =
+        fault::classify(buildWaitGraph(), opt_.fault, sched_.now());
+    fr.cancelled = true;
+    if (fr.cls == fault::HangClass::Deadlock) {
         fr.cls = fault::HangClass::Starvation;
         fr.cycle.clear();
     }

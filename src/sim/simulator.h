@@ -103,6 +103,12 @@ struct SimOptions
      *  events the ring buffer retains for the failure-report timeline.
      *  0 disables recording. */
     size_t flightDepth = 256;
+    /** External cancellation flag, polled once per simulated cycle.
+     *  When it goes true the run stops and throws a HangError whose
+     *  FailureReport carries `cancelled` (the daemon watchdog uses
+     *  this to cancel a request that blew its wall-clock deadline
+     *  without killing the worker thread). Not owned; may be null. */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /**
@@ -263,6 +269,7 @@ class Simulator
     void buildState();
     [[noreturn]] void reportHang();
     [[noreturn]] void reportBudgetExceeded();
+    [[noreturn]] void reportCancelled();
     std::vector<fault::WaitNode> buildWaitGraph() const;
     void collectTensors(SimResult &result);
     /** Per-wakeup bookkeeping: aggregate + per-class tallies and a

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <coroutine>
 #include <cstdint>
 #include <exception>
@@ -189,14 +190,23 @@ class Scheduler
     /**
      * Run until no events remain, or until the next event would lie
      * past `maxCycles` — then stop with `budgetExceeded()` set so the
-     * caller can escalate through its hang-diagnosis path. Returns the
-     * final time.
+     * caller can escalate through its hang-diagnosis path. A non-null
+     * `cancel` flag is polled once per simulated cycle (relaxed load:
+     * the exact stop cycle may trail the store by one poll, which is
+     * fine for a wall-clock watchdog); when it goes true the run stops
+     * with `cancelled()` set. Returns the final time.
      */
     uint64_t
-    run(uint64_t maxCycles = UINT64_MAX)
+    run(uint64_t maxCycles = UINT64_MAX,
+        const std::atomic<bool> *cancel = nullptr)
     {
         budgetExceeded_ = false;
+        cancelled_ = false;
         while (pending_ > 0) {
+            if (cancel && cancel->load(std::memory_order_relaxed)) {
+                cancelled_ = true;
+                break;
+            }
             uint64_t next = nextEventAt();
             if (next > maxCycles) {
                 budgetExceeded_ = true;
@@ -235,6 +245,9 @@ class Scheduler
     /** The last run() stopped because the next event would overrun the
      *  cycle budget (the budget-cycle event itself still executes). */
     bool budgetExceeded() const { return budgetExceeded_; }
+
+    /** The last run() stopped because its cancel flag went true. */
+    bool cancelled() const { return cancelled_; }
 
     /** Events executed since construction (host-throughput metric). */
     uint64_t eventsExecuted() const { return executed_; }
@@ -303,6 +316,7 @@ class Scheduler
     uint64_t pendingNear_ = 0; ///< Events in the wheel only.
     uint64_t executed_ = 0;
     bool budgetExceeded_ = false;
+    bool cancelled_ = false;
 };
 
 /**

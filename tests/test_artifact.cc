@@ -10,10 +10,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <thread>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "artifact/artifact.h"
 #include "artifact/cache.h"
@@ -305,7 +309,7 @@ TEST(ArtifactCache, MissStoreHit)
     reg.setEnabled(false);
 }
 
-TEST(ArtifactCache, CorruptEntryIsDeletedAndMisses)
+TEST(ArtifactCache, CorruptEntryIsQuarantinedAndMisses)
 {
     TempDir tmp("sara-cache-corrupt-test");
     auto &reg = telemetry::Registry::global();
@@ -327,8 +331,12 @@ TEST(ArtifactCache, CorruptEntryIsDeletedAndMisses)
     }
     EXPECT_FALSE(cache.lookup(key).has_value());
     EXPECT_EQ(reg.counter("artifact.cache.corrupt"), 1u);
-    // The bad entry is gone; the caller recompiles and re-stores.
+    EXPECT_EQ(reg.counter("artifact.cache.quarantined"), 1u);
+    // The bad entry is parked, never served and never silently
+    // deleted: the caller recompiles, the evidence survives.
     EXPECT_FALSE(fs::exists(cache.pathFor(key)));
+    EXPECT_TRUE(fs::exists(cache.quarantinePathFor(key)));
+    EXPECT_EQ(cache.quarantinedCount(), 1);
 
     reg.setEnabled(false);
 }
@@ -574,6 +582,203 @@ TEST(CachingCompiler, InjectedCompileFaultIsTransient)
     EXPECT_THROW(compiler.compile(w.program, opt), TransientError);
     // The retry (attempt 2) passes the count cap and compiles.
     EXPECT_NO_THROW(compiler.compile(w.program, opt));
+}
+
+// --- Crash safety ----------------------------------------------------------
+
+TEST(Artifact, AtomicWriteLeavesNoTempBehind)
+{
+    TempDir tmp("sara-artifact-atomic-test");
+    workloads::WorkloadConfig cfg;
+    cfg.par = 8;
+    auto w = workloads::buildByName("ms", cfg);
+    auto opt = testOptions();
+    auto r = compiler::compile(w.program, opt);
+
+    std::string path = (tmp.path / "entry.sara").string();
+    artifact::writeArtifactFile(path, "entry", r);
+    EXPECT_EQ(artifact::readArtifactFile(path).key, "entry");
+    // The publish is temp + fsync + rename: nothing but the final
+    // file may remain.
+    int files = 0;
+    for (const auto &de : fs::directory_iterator(tmp.path)) {
+        ++files;
+        EXPECT_EQ(de.path().filename().string(), "entry.sara");
+    }
+    EXPECT_EQ(files, 1);
+}
+
+TEST(ArtifactCache, RecoverySweepQuarantinesTornAndRemovesTemps)
+{
+    TempDir tmp("sara-cache-recover-test");
+    auto &reg = telemetry::Registry::global();
+    reg.clear();
+    reg.setEnabled(true);
+
+    workloads::WorkloadConfig cfg;
+    cfg.par = 8;
+    auto w = workloads::buildByName("ms", cfg);
+    auto opt = testOptions();
+    auto r = compiler::compile(w.program, opt);
+
+    // One intact entry, one torn entry (as a crashed non-atomic
+    // writer or a bad disk would leave it), one stale writer temp.
+    artifact::writeArtifactFile((tmp.path / "good.sara").string(),
+                                "good", r);
+    std::string packed = artifact::packArtifact("torn", r);
+    packed.resize(packed.size() / 2);
+    {
+        std::ofstream f(tmp.path / "torn.sara", std::ios::binary);
+        f.write(packed.data(),
+                static_cast<std::streamsize>(packed.size()));
+    }
+    {
+        std::ofstream f(tmp.path / "junk.sara.tmp.1234",
+                        std::ios::binary);
+        f << "half a write";
+    }
+
+    artifact::ArtifactCache cache(tmp.path.string(), 0);
+    auto st = cache.recover();
+    EXPECT_EQ(st.scanned, 2);
+    EXPECT_EQ(st.ok, 1);
+    EXPECT_EQ(st.quarantined, 1);
+    EXPECT_EQ(st.tmpRemoved, 1);
+    EXPECT_TRUE(fs::exists(tmp.path / "good.sara"));
+    EXPECT_TRUE(fs::exists(tmp.path / "torn.sara.quarantine"));
+    EXPECT_FALSE(fs::exists(tmp.path / "torn.sara"));
+    EXPECT_FALSE(fs::exists(tmp.path / "junk.sara.tmp.1234"));
+    EXPECT_EQ(cache.quarantinedCount(), 1);
+    EXPECT_EQ(reg.counter("artifact.cache.recovered"), 1u);
+    EXPECT_EQ(reg.counter("artifact.cache.tmp_removed"), 1u);
+    // The surviving entry still decodes.
+    EXPECT_EQ(artifact::readArtifactFile(
+                  (tmp.path / "good.sara").string())
+                  .key,
+              "good");
+
+    reg.setEnabled(false);
+}
+
+TEST(ArtifactCache, KillNineDuringStoreLeavesCacheLoadable)
+{
+    // The crash-only contract, enforced with a real SIGKILL: fork a
+    // writer child that hammers atomic publishes, kill it mid-write,
+    // and assert the recovery sweep leaves every surviving entry
+    // loadable with at most the in-flight entry quarantined.
+    TempDir tmp("sara-cache-kill9-test");
+    workloads::WorkloadConfig cfg;
+    cfg.par = 8;
+    auto w = workloads::buildByName("ms", cfg);
+    auto opt = testOptions();
+    auto r = compiler::compile(w.program, opt);
+    artifact::writeArtifactFile((tmp.path / "pre.sara").string(),
+                                "pre", r);
+
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        try {
+            for (uint64_t n = 0;; ++n) {
+                std::string k = "hot" + std::to_string(n % 2);
+                artifact::writeArtifactFile(
+                    (tmp.path / (k + ".sara")).string(), k, r);
+            }
+        } catch (const std::exception &) {
+        }
+        _exit(2);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(7));
+    kill(pid, SIGKILL);
+    int status = 0;
+    waitpid(pid, &status, 0);
+    ASSERT_TRUE(WIFSIGNALED(status));
+
+    artifact::ArtifactCache cache(tmp.path.string(), 0);
+    auto st = cache.recover();
+    EXPECT_LE(st.quarantined, 1);
+    EXPECT_EQ(st.ok + st.quarantined, st.scanned);
+    // Survivors (the pre-existing entry included) all decode.
+    EXPECT_EQ(artifact::readArtifactFile(
+                  (tmp.path / "pre.sara").string())
+                  .key,
+              "pre");
+    for (const auto &de : fs::directory_iterator(tmp.path))
+        if (de.path().extension() == ".sara")
+            EXPECT_NO_THROW(
+                artifact::readArtifactFile(de.path().string()))
+                << de.path();
+}
+
+TEST(ArtifactCache, InjectedEnospcFailsStoreCleanly)
+{
+    TempDir tmp("sara-cache-enospc-test");
+    auto &reg = telemetry::Registry::global();
+    reg.clear();
+    reg.setEnabled(true);
+
+    artifact::ArtifactCache cache(tmp.path.string());
+    workloads::WorkloadConfig cfg;
+    cfg.par = 8;
+    auto w = workloads::buildByName("ms", cfg);
+    auto opt = testOptions();
+    std::string key = artifact::contentKey(w.program, opt);
+    auto r = compiler::compile(w.program, opt);
+
+    std::vector<fault::FaultSpec> plan = {
+        fault::parseFaultSpec("disk-enospc:count=1")};
+    fault::FaultInjector inj(plan, 3);
+    cache.setFaultInjector(&inj);
+
+    // The full disk fails the store without publishing anything and
+    // without throwing — the compile already succeeded.
+    EXPECT_NO_THROW(cache.store(key, r));
+    EXPECT_FALSE(cache.contains(key));
+    EXPECT_EQ(reg.counter("artifact.cache.fault.enospc"), 1u);
+    EXPECT_EQ(reg.counter("artifact.cache.store_failed"), 1u);
+
+    // Count cap exhausted: the retry publishes and hits.
+    cache.store(key, r);
+    EXPECT_TRUE(cache.lookup(key).has_value());
+
+    reg.setEnabled(false);
+}
+
+TEST(ArtifactCache, InjectedShortWriteIsCaughtByValidation)
+{
+    TempDir tmp("sara-cache-shortwrite-test");
+    auto &reg = telemetry::Registry::global();
+    reg.clear();
+    reg.setEnabled(true);
+
+    artifact::ArtifactCache cache(tmp.path.string());
+    workloads::WorkloadConfig cfg;
+    cfg.par = 8;
+    auto w = workloads::buildByName("ms", cfg);
+    auto opt = testOptions();
+    std::string key = artifact::contentKey(w.program, opt);
+    auto r = compiler::compile(w.program, opt);
+
+    std::vector<fault::FaultSpec> plan = {
+        fault::parseFaultSpec("disk-short-write:count=1")};
+    fault::FaultInjector inj(plan, 3);
+    cache.setFaultInjector(&inj);
+
+    // The torn store publishes a truncated final file — exactly the
+    // state an atomic writer can never produce — and only checksum
+    // validation stands between it and a wrong answer.
+    cache.store(key, r);
+    EXPECT_TRUE(cache.contains(key));
+    EXPECT_EQ(reg.counter("artifact.cache.fault.short_write"), 1u);
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    EXPECT_EQ(reg.counter("artifact.cache.corrupt"), 1u);
+    EXPECT_TRUE(fs::exists(cache.quarantinePathFor(key)));
+
+    // Self-heal: re-store (cap exhausted), clean hit.
+    cache.store(key, r);
+    EXPECT_TRUE(cache.lookup(key).has_value());
+
+    reg.setEnabled(false);
 }
 
 TEST(Hash, Sha256KnownVectors)

@@ -57,9 +57,30 @@ TEST(FaultSpec, EveryKindParses)
 {
     const char *kinds[] = {"noc-delay",    "noc-dup",       "stuck-credit",
                            "dram-timeout", "dram-tail",     "fifo-leak",
-                           "artifact-flip", "compile-fault"};
+                           "artifact-flip", "compile-fault",
+                           "disk-short-write", "disk-enospc",
+                           "sock-torn-write", "sock-drop"};
     for (const char *k : kinds)
         EXPECT_NO_THROW(fault::parseFaultSpec(k)) << k;
+}
+
+TEST(FaultSpec, HostLevelKindsRoundTripNames)
+{
+    auto sw = fault::parseFaultSpec("disk-short-write@0.5:count=2");
+    EXPECT_EQ(sw.kind, fault::FaultKind::DiskShortWrite);
+    EXPECT_DOUBLE_EQ(sw.prob, 0.5);
+    EXPECT_EQ(sw.count, 2);
+    auto en = fault::parseFaultSpec("disk-enospc");
+    EXPECT_EQ(en.kind, fault::FaultKind::DiskEnospc);
+    auto tw = fault::parseFaultSpec("sock-torn-write@0.1");
+    EXPECT_EQ(tw.kind, fault::FaultKind::SockTornWrite);
+    auto dr = fault::parseFaultSpec("sock-drop:site=conn-3");
+    EXPECT_EQ(dr.kind, fault::FaultKind::SockDrop);
+    EXPECT_EQ(dr.site, "conn-3");
+    EXPECT_STREQ(fault::faultKindName(sw.kind), "disk-short-write");
+    EXPECT_STREQ(fault::faultKindName(en.kind), "disk-enospc");
+    EXPECT_STREQ(fault::faultKindName(tw.kind), "sock-torn-write");
+    EXPECT_STREQ(fault::faultKindName(dr.kind), "sock-drop");
 }
 
 TEST(FaultSpec, RejectsMalformedSpecs)
@@ -111,6 +132,55 @@ TEST(FaultInjector, CompileFaultCountGatesRetries)
     EXPECT_TRUE(inj.compileFault("key"));  // Attempt 1 fails.
     EXPECT_TRUE(inj.compileFault("key"));  // Attempt 2 fails.
     EXPECT_FALSE(inj.compileFault("key")); // Attempt 3 passes.
+}
+
+TEST(FaultInjector, HostFaultCountCapsAttempts)
+{
+    // Host-level kinds share compile-fault's attempt-sequence
+    // semantics: every call advances the spec's attempt counter, so
+    // `count` caps total strikes across retries, not per-site.
+    std::vector<fault::FaultSpec> plan = {
+        fault::parseFaultSpec("disk-enospc:count=1"),
+        fault::parseFaultSpec("sock-drop:count=2")};
+    fault::FaultInjector inj(plan, 7);
+    EXPECT_TRUE(inj.diskEnospc("keyA"));   // Strike 1 — cap hit.
+    EXPECT_FALSE(inj.diskEnospc("keyA"));
+    EXPECT_FALSE(inj.diskEnospc("keyB"));
+    EXPECT_TRUE(inj.sockDrop("conn-1"));
+    EXPECT_TRUE(inj.sockDrop("conn-2"));
+    EXPECT_FALSE(inj.sockDrop("conn-1"));
+    EXPECT_EQ(inj.totalInjections(), 3u);
+}
+
+TEST(FaultInjector, HostFaultDecisionsAreSeedDeterministic)
+{
+    std::vector<fault::FaultSpec> plan = {
+        fault::parseFaultSpec("sock-torn-write@0.5")};
+    fault::FaultInjector a(plan, 42), b(plan, 42), c(plan, 43);
+    bool anyDiffer = false;
+    for (int i = 0; i < 200; ++i) {
+        std::string site = "conn-" + std::to_string(i % 7);
+        bool da = a.sockTornWrite(site);
+        EXPECT_EQ(da, b.sockTornWrite(site)) << i;
+        anyDiffer = anyDiffer || da != c.sockTornWrite(site);
+    }
+    EXPECT_TRUE(anyDiffer) << "different seeds never diverged";
+}
+
+TEST(FaultInjector, ShortWriteKeepIsBoundedAndDeterministic)
+{
+    std::vector<fault::FaultSpec> plan = {
+        fault::parseFaultSpec("disk-short-write")};
+    fault::FaultInjector inj(plan, 11), twin(plan, 11);
+    for (size_t size : {2u, 3u, 17u, 4096u}) {
+        size_t keep = inj.shortWriteKeep("key", size);
+        EXPECT_GE(keep, 1u) << size;
+        EXPECT_LT(keep, size) << size; // A short write always tears.
+        EXPECT_EQ(keep, twin.shortWriteKeep("key", size)) << size;
+    }
+    // Degenerate sizes cannot be torn shorter.
+    EXPECT_EQ(inj.shortWriteKeep("key", 1), 1u);
+    EXPECT_EQ(inj.shortWriteKeep("key", 0), 0u);
 }
 
 // --- Classifier unit tests -------------------------------------------------

@@ -12,10 +12,15 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <cstring>
 #include <filesystem>
 #include <thread>
 #include <vector>
 
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include "jobs/fair.h"
@@ -24,6 +29,7 @@
 #include "serve/server.h"
 #include "support/json.h"
 #include "support/logging.h"
+#include "support/telemetry.h"
 
 using namespace sara;
 namespace fs = std::filesystem;
@@ -484,4 +490,325 @@ TEST(ServeServer, RequestStopAnswersBacklogBeforeExit)
     // closed got a response; nothing hung.
     EXPECT_GT(answered, 0);
     server.wait();
+}
+
+// ---------------------------------------------------------------------------
+// Crash-only serving: churn GC, deadlines, shedding, watchdog, breaker
+// ---------------------------------------------------------------------------
+
+TEST(FairQueue, TenantChurnIsGarbageCollected)
+{
+    // A stream of one-shot tenant names must not grow the tenant map:
+    // a drained default-weight tenant is dropped on pop.
+    jobs::FairQueue<int> q(64);
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_TRUE(q.tryPush("oneshot-" + std::to_string(i), i));
+        ASSERT_TRUE(q.pop().has_value());
+        EXPECT_LE(q.tenantCount(), 1u) << i;
+    }
+    EXPECT_EQ(q.tenantCount(), 0u);
+
+    // Explicitly weighted tenants are pinned: their configuration
+    // survives going idle.
+    q.setWeight("vip", 2.0);
+    ASSERT_TRUE(q.tryPush("vip", 1));
+    ASSERT_TRUE(q.pop().has_value());
+    EXPECT_EQ(q.tenantCount(), 1u);
+    // And interleaved churn still collects the unpinned ones.
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_TRUE(q.tryPush("churn-" + std::to_string(i), i));
+        ASSERT_TRUE(q.pop().has_value());
+    }
+    EXPECT_EQ(q.tenantCount(), 1u);
+}
+
+namespace {
+
+serve::Request
+runReq(const std::string &id, const std::string &workload, int par,
+       uint64_t maxCycles = 0)
+{
+    serve::Request r;
+    r.id = id;
+    r.verb = serve::Verb::Run;
+    r.workload = workload;
+    r.par = par;
+    r.maxCycles = maxCycles;
+    return r;
+}
+
+/** Raw AF_UNIX connection for driving half-open/misbehaving clients
+ *  the serve::Client API (rightly) cannot express. */
+int
+rawConnect(const std::string &path)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/** Read until EOF or timeout; returns everything received. */
+std::string
+rawDrain(int fd, int timeoutMs)
+{
+    std::string got;
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeoutMs);
+    for (;;) {
+        int remain = static_cast<int>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now())
+                .count());
+        if (remain <= 0)
+            break;
+        pollfd p{fd, POLLIN, 0};
+        int pr = ::poll(&p, 1, std::min(remain, 100));
+        if (pr < 0)
+            break;
+        if (pr == 0)
+            continue;
+        char buf[4096];
+        ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0)
+            break; // EOF (shed) or error.
+        got.append(buf, static_cast<size_t>(n));
+    }
+    return got;
+}
+
+} // namespace
+
+TEST(ServeServer, RejectionHintIsFiniteWithZeroCompletedSamples)
+{
+    // The retry_after_ms hint derives from a service-time EWMA. Before
+    // the first completion the EWMA has zero samples; rejects issued
+    // in that window must still carry a finite positive hint, not a
+    // zero, a NaN, or a division artifact.
+    serve::Server server(testOptions("ewma", 1, 1));
+    server.start();
+    ASSERT_TRUE(serve::waitForServer(server.socketPath(), 5000));
+    {
+        serve::Client client(server.socketPath());
+        // A pipelined burst lands while the first cold compile is
+        // still in flight: every reject precedes any completion.
+        const int burst = 8;
+        for (int i = 0; i < burst; ++i)
+            client.send(compileReq("z" + std::to_string(i), "ms", 4));
+        int rejected = 0;
+        for (int i = 0; i < burst; ++i) {
+            auto v = client.recv();
+            ASSERT_TRUE(v.has_value());
+            if (v->at("status").str != "rejected")
+                continue;
+            ++rejected;
+            double hint = v->at("retry_after_ms").num;
+            EXPECT_TRUE(std::isfinite(hint));
+            EXPECT_GE(hint, 1.0);
+        }
+        EXPECT_GT(rejected, 0);
+    }
+    server.requestStop();
+    server.wait();
+}
+
+TEST(ServeServer, SlowLorisConnectionIsShed)
+{
+    auto &reg = telemetry::Registry::global();
+    reg.clear();
+    reg.setEnabled(true);
+
+    auto opt = testOptions("loris", 1, 8);
+    opt.readDeadlineMs = 100.0;
+    serve::Server server(std::move(opt));
+    server.start();
+    ASSERT_TRUE(serve::waitForServer(server.socketPath(), 5000));
+
+    int fd = rawConnect(server.socketPath());
+    ASSERT_GE(fd, 0);
+    // A few bytes of a request line, then silence: the reader's
+    // partial-line deadline must shed us instead of waiting forever.
+    const char *partial = "{\"schema\":\"sara-req";
+    ASSERT_GT(::send(fd, partial, std::strlen(partial), MSG_NOSIGNAL),
+              0);
+    std::string got = rawDrain(fd, 5000);
+    ::close(fd);
+    // Shed with a structured parting error, then EOF.
+    EXPECT_NE(got.find("read deadline"), std::string::npos) << got;
+    EXPECT_GE(reg.counter("serve.shed.slowloris"), 1u);
+
+    // A well-formed client is still served afterwards.
+    serve::Client client(server.socketPath());
+    EXPECT_EQ(client.call(compileReq("after", "ms", 4)).at("status").str,
+              "ok");
+    server.requestStop();
+    server.wait();
+    reg.setEnabled(false);
+}
+
+TEST(ServeServer, IdleConnectionIsShed)
+{
+    auto &reg = telemetry::Registry::global();
+    reg.clear();
+    reg.setEnabled(true);
+
+    auto opt = testOptions("idle", 1, 8);
+    opt.idleTimeoutMs = 100.0;
+    serve::Server server(std::move(opt));
+    server.start();
+    ASSERT_TRUE(serve::waitForServer(server.socketPath(), 5000));
+
+    int fd = rawConnect(server.socketPath());
+    ASSERT_GE(fd, 0);
+    // Connect and send nothing: the idle timeout closes us.
+    std::string got = rawDrain(fd, 5000);
+    ::close(fd);
+    EXPECT_NE(got.find("idle timeout"), std::string::npos) << got;
+    EXPECT_GE(reg.counter("serve.shed.idle"), 1u);
+    server.requestStop();
+    server.wait();
+    reg.setEnabled(false);
+}
+
+TEST(ServeServer, ConnectionLimitSendsStructuredOverloaded)
+{
+    auto &reg = telemetry::Registry::global();
+    reg.clear();
+    reg.setEnabled(true);
+
+    auto opt = testOptions("maxconn", 1, 8);
+    opt.maxConnections = 1;
+    serve::Server server(std::move(opt));
+    server.start();
+    ASSERT_TRUE(serve::waitForServer(server.socketPath(), 5000));
+
+    // First connection occupies the only slot (a completed round trip
+    // guarantees its reader is registered). The waitForServer() probe
+    // above may hold the slot for one more poll tick until its EOF is
+    // seen, so admission can transiently answer `overloaded` — retry.
+    std::unique_ptr<serve::Client> first;
+    serve::Request st;
+    st.id = "s";
+    st.verb = serve::Verb::Stats;
+    for (int attempt = 0; attempt < 50; ++attempt) {
+        first = std::make_unique<serve::Client>(server.socketPath());
+        if (first->call(st).at("status").str == "ok")
+            break;
+        first.reset();
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ASSERT_NE(first, nullptr) << "slot never freed";
+
+    // The overflow connection gets one structured `overloaded` line
+    // with a retry hint, then EOF — never a silent drop.
+    int fd = rawConnect(server.socketPath());
+    ASSERT_GE(fd, 0);
+    std::string got = rawDrain(fd, 5000);
+    ::close(fd);
+    auto nl = got.find('\n');
+    ASSERT_NE(nl, std::string::npos) << got;
+    json::Value v = json::parse(got.substr(0, nl));
+    EXPECT_EQ(v.at("status").str, "overloaded");
+    EXPECT_GE(v.at("retry_after_ms").num, 1.0);
+    EXPECT_GE(reg.counter("serve.overloaded"), 1u);
+
+    // The admitted connection is unaffected.
+    EXPECT_EQ(first->call(compileReq("c", "ms", 4)).at("status").str,
+              "ok");
+    server.requestStop();
+    server.wait();
+    reg.setEnabled(false);
+}
+
+TEST(ServeServer, WatchdogCancelsRunawayRequestAndDaemonSurvives)
+{
+    auto &reg = telemetry::Registry::global();
+    reg.clear();
+    reg.setEnabled(true);
+
+    auto opt = testOptions("watchdog", 2, 8);
+    // A 1 ms wall-clock deadline: the cold compile alone exceeds it,
+    // so the watchdog flags the request and the simulator cancels at
+    // its first cycle poll. Deterministic, no sleeps.
+    opt.requestDeadlineMs = 1.0;
+    serve::Server server(std::move(opt));
+    server.start();
+    ASSERT_TRUE(serve::waitForServer(server.socketPath(), 5000));
+    {
+        serve::Client client(server.socketPath());
+        json::Value v = client.call(runReq("w1", "ms", 4));
+        ASSERT_EQ(v.at("status").str, "error");
+        EXPECT_NE(v.at("error").str.find("deadline"), std::string::npos)
+            << v.at("error").str;
+        // The cancellation rides the structured FailureReport.
+        const json::Value *fr = v.find("failure_report");
+        ASSERT_NE(fr, nullptr);
+        EXPECT_TRUE(fr->at("cancelled").boolean);
+        EXPECT_GE(reg.counter("serve.watchdog.cancelled"), 1u);
+    }
+    server.requestStop();
+    server.wait();
+    reg.setEnabled(false);
+}
+
+TEST(ServeServer, BreakerTripsThenHalfOpensAfterCooldown)
+{
+    auto &reg = telemetry::Registry::global();
+    reg.clear();
+    reg.setEnabled(true);
+
+    auto opt = testOptions("breaker", 1, 8);
+    opt.breakerThreshold = 2;
+    opt.breakerCooldownMs = 150.0;
+    serve::Server server(std::move(opt));
+    server.start();
+    ASSERT_TRUE(serve::waitForServer(server.socketPath(), 5000));
+    {
+        serve::Client client(server.socketPath());
+
+        // Two consecutive poison failures (a 1-cycle budget can never
+        // finish) trip the workload's breaker...
+        for (int i = 0; i < 2; ++i) {
+            json::Value v =
+                client.call(runReq("p" + std::to_string(i), "ms", 4,
+                                   /*maxCycles=*/1));
+            EXPECT_EQ(v.at("status").str, "error") << i;
+        }
+        EXPECT_GE(reg.counter("serve.breaker.tripped"), 1u);
+
+        // ...so the next request is rejected without executing.
+        json::Value rej = client.call(runReq("p2", "ms", 4, 1));
+        EXPECT_EQ(rej.at("status").str, "rejected");
+        EXPECT_NE(rej.at("error").str.find("circuit breaker"),
+                  std::string::npos);
+        EXPECT_GE(rej.at("retry_after_ms").num, 0.0);
+
+        // Other workloads are isolated: their breakers are closed.
+        EXPECT_EQ(client.call(runReq("other", "logreg", 4))
+                      .at("status")
+                      .str,
+                  "ok");
+
+        // After the cooldown the half-open probe re-tests the
+        // workload; a healthy request closes the breaker for good.
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        EXPECT_EQ(client.call(runReq("probe", "ms", 4)).at("status").str,
+                  "ok");
+        EXPECT_EQ(client.call(runReq("closed", "ms", 4))
+                      .at("status")
+                      .str,
+                  "ok");
+    }
+    server.requestStop();
+    server.wait();
+    reg.setEnabled(false);
 }

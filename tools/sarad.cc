@@ -25,6 +25,34 @@
  *   --retries N         TransientError retries per request (default 1)
  *   --max-cycles N      per-request simulator cycle budget default
  *
+ * Crash-only serving:
+ *   --max-conns N           concurrent connection bound (default 256);
+ *                           overflow gets a structured `overloaded`
+ *                           response and is closed
+ *   --read-deadline-ms MS   shed a connection whose partial request
+ *                           line stalls this long (slow-loris defense;
+ *                           default 30000, 0 disables)
+ *   --idle-timeout-ms MS    shed connections idle this long with no
+ *                           outstanding requests (default 0 = never)
+ *   --request-deadline-ms MS  watchdog: cancel any request executing
+ *                           past this wall-clock deadline; the client
+ *                           gets a structured error with the full
+ *                           FailureReport (default 0 = off)
+ *   --breaker-threshold N   trip a workload's circuit breaker after N
+ *                           consecutive failures (default 8, 0 = off)
+ *   --breaker-cooldown-ms MS  how long a tripped breaker rejects
+ *                           before half-opening (default 1000)
+ *   --inject SPEC           host-level fault plan (repeatable): e.g.
+ *                           disk-enospc@0.1, sock-torn-write@0.05,
+ *                           disk-short-write:count=2, compile-fault...
+ *   --inject-seed N         seed for the fault plan (default 1)
+ *
+ * At startup with a disk cache, the cache directory is swept: stale
+ * writer temp files are removed and corrupt or torn entries are
+ * quarantined (renamed to *.quarantine) — never served, never
+ * silently deleted. The stats verb reports the sweep and the current
+ * quarantine count under "cache".
+ *
  * Lifecycle: runs until a client sends the `shutdown` verb or the
  * process receives SIGINT/SIGTERM; both paths drain the admitted
  * backlog, answer every in-flight request, and exit 0.
@@ -43,7 +71,9 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "fault/fault.h"
 #include "serve/server.h"
 #include "support/logging.h"
 
@@ -69,7 +99,12 @@ usage()
         "usage: sarad [--socket PATH] [--workers N] [--queue-depth N]\n"
         "             [--cache | --cache-dir DIR] [--mem-entries N]\n"
         "             [--tenant-weight TENANT=W ...] [--retries N]\n"
-        "             [--max-cycles N]\n");
+        "             [--max-cycles N] [--max-conns N]\n"
+        "             [--read-deadline-ms MS] [--idle-timeout-ms MS]\n"
+        "             [--request-deadline-ms MS]\n"
+        "             [--breaker-threshold N] "
+        "[--breaker-cooldown-ms MS]\n"
+        "             [--inject SPEC ...] [--inject-seed N]\n");
     return 2;
 }
 
@@ -78,6 +113,8 @@ realMain(int argc, char **argv)
 {
     serve::ServerOptions opt;
     opt.socketPath = "sarad.sock";
+    std::vector<fault::FaultSpec> faultPlan;
+    uint64_t injectSeed = 1;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -110,6 +147,22 @@ realMain(int argc, char **argv)
             opt.maxAttempts = 1 + std::stoi(next());
         } else if (arg == "--max-cycles") {
             opt.defaultMaxCycles = std::stoull(next());
+        } else if (arg == "--max-conns") {
+            opt.maxConnections = std::stoul(next());
+        } else if (arg == "--read-deadline-ms") {
+            opt.readDeadlineMs = std::stod(next());
+        } else if (arg == "--idle-timeout-ms") {
+            opt.idleTimeoutMs = std::stod(next());
+        } else if (arg == "--request-deadline-ms") {
+            opt.requestDeadlineMs = std::stod(next());
+        } else if (arg == "--breaker-threshold") {
+            opt.breakerThreshold = std::stoi(next());
+        } else if (arg == "--breaker-cooldown-ms") {
+            opt.breakerCooldownMs = std::stod(next());
+        } else if (arg == "--inject") {
+            faultPlan.push_back(fault::parseFaultSpec(next()));
+        } else if (arg == "--inject-seed") {
+            injectSeed = std::stoull(next());
         } else {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             return usage();
@@ -117,6 +170,17 @@ realMain(int argc, char **argv)
     }
 
     setLogLevel(LogLevel::Info); // A daemon should say what it's doing.
+
+    // The injector must outlive the server (not owned by it).
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (!faultPlan.empty()) {
+        injector = std::make_unique<fault::FaultInjector>(
+            std::move(faultPlan), injectSeed);
+        opt.fault = injector.get();
+        inform("sarad: host fault injection armed (",
+               injector->plan().size(), " specs, seed ", injectSeed,
+               ")");
+    }
 
     serve::Server server(std::move(opt));
     std::signal(SIGINT, onSignal);
