@@ -188,6 +188,23 @@ class Scheduler
     }
 
     /**
+     * Register `fn(arg)` to run at the *end* of the current cycle —
+     * after every normal event scheduled for `now()` has executed (the
+     * end-of-cycle phase repeats if handlers schedule further
+     * same-cycle events). The simulator's same-cycle arbiters (DRAM
+     * channel order, PMU port-bus grants) live here: requests staged
+     * during the cycle are resolved in one deterministic pass whose
+     * order does not depend on the event interleave — the property
+     * that lets region-parallel execution stay cycle-identical to the
+     * sequential core.
+     */
+    void
+    atCycleEnd(EventFn fn, void *arg)
+    {
+        eoc_.push_back(Event{now_, 0, fn, arg});
+    }
+
+    /**
      * Run until no events remain, or until the next event would lie
      * past `maxCycles` — then stop with `budgetExceeded()` set so the
      * caller can escalate through its hang-diagnosis path. A non-null
@@ -202,10 +219,18 @@ class Scheduler
     {
         budgetExceeded_ = false;
         cancelled_ = false;
-        while (pending_ > 0) {
+        while (pending_ > 0 || !eoc_.empty()) {
             if (cancel && cancel->load(std::memory_order_relaxed)) {
                 cancelled_ = true;
                 break;
+            }
+            // End-of-cycle phase: once the current cycle's normal
+            // events drain, run the registered arbiters (they may
+            // schedule fresh same-cycle events, re-entering the drain).
+            if (!eoc_.empty() &&
+                (pending_ == 0 || nextEventAt() > now_)) {
+                runEndOfCycle();
+                continue;
             }
             uint64_t next = nextEventAt();
             if (next > maxCycles) {
@@ -213,31 +238,51 @@ class Scheduler
                 break;
             }
             now_ = next;
-            // Overflow entries for this cycle carry strictly smaller
-            // seq than any bucket entry (see class comment): heap
-            // first, bucket FIFO second. An overflow event scheduling
-            // at `now` lands in the bucket (distance 0), so this loop
-            // terminates.
-            while (!overflow_.empty() && overflow_.top().at == now_) {
-                Event e = overflow_.top();
-                overflow_.pop();
-                --pending_;
-                ++executed_;
-                e.fn(e.arg);
-            }
-            // Index-based: executing an event may append same-cycle
-            // events to this very bucket (reallocating it).
-            auto &bucket = buckets_[now_ & kWheelMask];
-            for (size_t i = 0; i < bucket.size(); ++i) {
-                Event e = bucket[i];
-                --pending_;
-                --pendingNear_;
-                ++executed_;
-                e.fn(e.arg);
-            }
-            bucket.clear(); // Keeps capacity: steady state is alloc-free.
+            drainCycle();
         }
         return now_;
+    }
+
+    /**
+     * Quantum-bounded drain for region-parallel execution: run events
+     * strictly before `endExclusive`, leaving later events pending.
+     * End-of-cycle handlers for an executed cycle always run before
+     * returning, so no arbitration straddles a quantum boundary. The
+     * cancel flag is polled once per executed cycle — every region
+     * thread of a parallel run honours the watchdog's cooperative
+     * cancel. Returns false when cancelled.
+     */
+    bool
+    runUntil(uint64_t endExclusive,
+             const std::atomic<bool> *cancel = nullptr)
+    {
+        while (pending_ > 0 || !eoc_.empty()) {
+            if (cancel && cancel->load(std::memory_order_relaxed)) {
+                cancelled_ = true;
+                return false;
+            }
+            if (!eoc_.empty() &&
+                (pending_ == 0 || nextEventAt() > now_)) {
+                runEndOfCycle();
+                continue;
+            }
+            uint64_t next = nextEventAt();
+            if (next >= endExclusive)
+                return true;
+            now_ = next;
+            drainCycle();
+        }
+        return true;
+    }
+
+    /** Earliest pending event time, or UINT64_MAX when idle. Only
+     *  meaningful between runUntil() quanta (end-of-cycle handlers
+     *  never remain pending across a quantum boundary). */
+    uint64_t
+    peekNextAt() const
+    {
+        SARA_ASSERT(eoc_.empty(), "peek with end-of-cycle work pending");
+        return pending_ > 0 ? nextEventAt() : UINT64_MAX;
     }
 
     bool idle() const { return pending_ == 0; }
@@ -289,6 +334,48 @@ class Scheduler
     static_assert((kWheelCycles & kWheelMask) == 0,
                   "wheel size must be a power of two");
 
+    /** Execute every event scheduled for `now_` (called with now_
+     *  freshly advanced to the earliest pending time). */
+    void
+    drainCycle()
+    {
+        // Overflow entries for this cycle carry strictly smaller seq
+        // than any bucket entry (see class comment): heap first,
+        // bucket FIFO second. An overflow event scheduling at `now`
+        // lands in the bucket (distance 0), so this loop terminates.
+        while (!overflow_.empty() && overflow_.top().at == now_) {
+            Event e = overflow_.top();
+            overflow_.pop();
+            --pending_;
+            ++executed_;
+            e.fn(e.arg);
+        }
+        // Index-based: executing an event may append same-cycle
+        // events to this very bucket (reallocating it).
+        auto &bucket = buckets_[now_ & kWheelMask];
+        for (size_t i = 0; i < bucket.size(); ++i) {
+            Event e = bucket[i];
+            --pending_;
+            --pendingNear_;
+            ++executed_;
+            e.fn(e.arg);
+        }
+        bucket.clear(); // Keeps capacity: steady state is alloc-free.
+    }
+
+    /** Run the registered end-of-cycle handlers (index-based: a
+     *  handler may register further handlers for this same cycle). */
+    void
+    runEndOfCycle()
+    {
+        for (size_t i = 0; i < eoc_.size(); ++i) {
+            Event e = eoc_[i];
+            ++executed_;
+            e.fn(e.arg);
+        }
+        eoc_.clear();
+    }
+
     /** Earliest pending event time (caller guarantees pending_ > 0). */
     uint64_t
     nextEventAt() const
@@ -310,6 +397,8 @@ class Scheduler
     std::array<std::vector<Event>, kWheelCycles> buckets_;
     std::priority_queue<Event, std::vector<Event>, std::greater<>>
         overflow_;
+    /** End-of-cycle handlers for the current cycle (atCycleEnd). */
+    std::vector<Event> eoc_;
     uint64_t now_ = 0;
     uint64_t seq_ = 0;
     uint64_t pending_ = 0;     ///< Events in wheel + overflow.
